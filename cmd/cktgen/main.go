@@ -1,0 +1,174 @@
+// Command cktgen generates test-case artifacts: synthetic X-location
+// workloads (the calibrated CKT profiles or custom parameterizations) and
+// random gate-level circuits with correlated X sources.
+//
+// Usage:
+//
+//	cktgen workload -profile ckt-b [-seed N] [-scale K] -o xmap.json
+//	cktgen workload -chains 75 -chainlen 481 -patterns 3000 -density 0.0275 \
+//	       -clusters 6 -structured 0.55 -o xmap.json
+//	cktgen circuit -cells 256 -pis 16 -xclusters 8 [-seed N] -o ckt.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xhybrid"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xmap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "workload":
+		genWorkload(os.Args[2:])
+	case "circuit":
+		genCircuit(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cktgen <workload|circuit> [flags]")
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "cktgen:", err)
+	os.Exit(1)
+}
+
+func genWorkload(args []string) {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	profile := fs.String("profile", "", "named profile: ckt-a, ckt-b or ckt-c")
+	scale := fs.Int("scale", 1, "shrink a named profile by this factor")
+	chains := fs.Int("chains", 16, "scan chains (custom profile)")
+	chainLen := fs.Int("chainlen", 64, "cells per chain (custom profile)")
+	patterns := fs.Int("patterns", 512, "test patterns (custom profile)")
+	density := fs.Float64("density", 0.02, "X density (custom profile)")
+	clusters := fs.Int("clusters", 4, "correlated clusters (custom profile)")
+	clusterPatterns := fs.Int("clusterpatterns", 64, "patterns per cluster (custom profile)")
+	structured := fs.Float64("structured", 0.5, "structured X fraction (custom profile)")
+	seed := fs.Int64("seed", 0, "generation seed (0 = default)")
+	out := fs.String("o", "", "output file (default stdout; .txt selects the text format)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	var p workload.Profile
+	if *profile != "" {
+		switch *profile {
+		case "ckt-a":
+			p = workload.CKTA()
+		case "ckt-b":
+			p = workload.CKTB()
+		case "ckt-c":
+			p = workload.CKTC()
+		default:
+			die(fmt.Errorf("unknown profile %q", *profile))
+		}
+		if *scale > 1 {
+			p = workload.Scaled(p, *scale)
+		}
+	} else {
+		p = workload.Profile{
+			Name: "custom", Chains: *chains, ChainLen: *chainLen, Patterns: *patterns,
+			XDensity: *density, StructuredFraction: *structured,
+			Clusters: *clusters, ClusterPatterns: *clusterPatterns,
+			BackgroundCellFraction: 0.05,
+		}
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	m, err := p.Generate()
+	if err != nil {
+		die(err)
+	}
+	x := toXLocations(p.Geometry(), m)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(*out, ".txt") {
+		err = x.WriteText(w)
+	} else {
+		err = x.WriteJSON(w)
+	}
+	if err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "cktgen: %s: %d cells, %d patterns, %d X's (density %.4f%%)\n",
+		p.Name, m.Cells(), m.Patterns(), m.TotalX(), 100*m.Density())
+}
+
+// toXLocations converts an internal X-map to the public facade type via the
+// JSON-free path (AddX), keeping cmd code on the public API where possible.
+func toXLocations(g scan.Geometry, m *xmap.XMap) *xhybrid.XLocations {
+	x, err := xhybrid.NewXLocations(g.Chains, g.ChainLen, m.Patterns())
+	if err != nil {
+		die(err)
+	}
+	for _, c := range m.XCells() {
+		chain, pos := g.CellCoord(c.Cell)
+		c.Patterns.ForEach(func(p int) {
+			if err := x.AddX(p, chain, pos); err != nil {
+				die(err)
+			}
+		})
+	}
+	return x
+}
+
+func genCircuit(args []string) {
+	fs := flag.NewFlagSet("circuit", flag.ExitOnError)
+	cells := fs.Int("cells", 256, "scan cells")
+	pis := fs.Int("pis", 16, "primary inputs")
+	xclusters := fs.Int("xclusters", 8, "X-source clusters")
+	xfanout := fs.Int("xfanout", 4, "scan cells per X cluster")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	c, err := netlist.Generate(netlist.GenConfig{
+		Name:      fmt.Sprintf("gen-%d", *seed),
+		ScanCells: *cells,
+		PIs:       *pis,
+		XClusters: *xclusters,
+		XFanout:   *xfanout,
+		Seed:      *seed,
+	})
+	if err != nil {
+		die(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := c.WriteJSON(w); err != nil {
+		die(err)
+	}
+	st := c.Stats()
+	fmt.Fprintf(os.Stderr, "cktgen: %s: %d gates, %d scan cells, %d PIs, %d X sources, depth %d\n",
+		c.Name, st.Gates, st.ScanCells, st.PIs, st.XSources, st.Depth)
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"xhybrid/internal/core"
+	"xhybrid/internal/correlation"
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/report"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+)
+
+// fig4Map builds the Figure 4 X-map (8 patterns, 5 chains x 3 cells).
+func fig4Map() *xmap.XMap {
+	m := xmap.New(8, 15)
+	add := func(chain, pos int, patterns ...int) {
+		cell := (chain-1)*3 + (pos - 1)
+		for _, p := range patterns {
+			m.Add(p-1, cell)
+		}
+	}
+	add(1, 1, 1, 4, 5, 6)
+	add(2, 1, 1, 4, 5, 6)
+	add(3, 1, 1, 4, 5, 6)
+	add(2, 3, 2, 3)
+	add(4, 3, 1, 2, 3, 4, 5, 7, 8)
+	add(5, 2, 1, 2, 4, 5, 7, 8)
+	add(5, 3, 6)
+	return m
+}
+
+// runFigure23 reproduces the symbolic-simulation example: first the exact
+// Figure 2 equations and their Figure 3 Gaussian elimination, then a live
+// symbolic MISR run showing the same machinery end to end.
+func runFigure23(w io.Writer) error {
+	fmt.Fprintln(w, "=== Figure 2/3: Symbolic MISR simulation and X-canceling ===")
+	fmt.Fprintln(w, "\nPaper fixture: 6-bit MISR, 14 deterministic (O) and 4 unknown (X) values.")
+	equations := []string{
+		"M1 = X1 + O3 + O8 + O13",
+		"M2 = X1 + O2 + X2 + X3 + O9 + O14",
+		"M3 = O2 + O5 + X3 + O10 + O15",
+		"M4 = X1 + O6 + O11 + O16",
+		"M5 = X1 + O2 + X3 + O12 + O17",
+		"M6 = O2 + X3 + X4",
+	}
+	for _, eq := range equations {
+		fmt.Fprintln(w, " ", eq)
+	}
+	// X-dependence matrix (columns X1..X4) from the equations above.
+	dep := gf2.ParseMat("1000", "1110", "0010", "1000", "1010", "0011")
+	sels := gf2.NullCombinations(dep)
+	fmt.Fprintf(w, "\nGaussian elimination: rank %d, %d X-free combinations:\n", gf2.Rank(dep), len(sels))
+	names := []string{"M1", "M2", "M3", "M4", "M5", "M6"}
+	for _, sel := range sels {
+		terms := ""
+		sel.ForEach(func(i int) {
+			if terms != "" {
+				terms += " ^ "
+			}
+			terms += names[i]
+		})
+		fmt.Fprintf(w, "  %s  (X-free)\n", terms)
+	}
+	m135 := gf2.FromIndices(6, 0, 2, 4)
+	m14 := gf2.FromIndices(6, 0, 3)
+	fmt.Fprintf(w, "Paper's combinations M1^M3^M5 X-free: %v; M1^M4 X-free: %v\n",
+		dep.VecMul(m135).IsZero(), dep.VecMul(m14).IsZero())
+
+	// Live run: 3 shift cycles into a 6-bit MISR with 4 X's among 18 cells.
+	fmt.Fprintln(w, "\nLive symbolic run (6-bit MISR, x^6+x+1, 18 cells, X at cells 1, 7, 12, 18):")
+	cfg := misr.MustStandard(6)
+	sym := misr.MustNewSymbolic(cfg, 8)
+	xCells := map[int]bool{1: true, 7: true, 12: true, 18: true}
+	cell := 0
+	nextO, nextX := 1, 1
+	for cycle := 0; cycle < 3; cycle++ {
+		in := make(logic.Vector, 6)
+		labels := make([]string, 6)
+		for stage := 0; stage < 6; stage++ {
+			cell++
+			if xCells[cell] {
+				in[stage] = logic.X
+				labels[stage] = fmt.Sprintf("X%d", nextX)
+				nextX++
+			} else {
+				in[stage] = logic.V(cell % 2) // arbitrary known values
+				labels[stage] = fmt.Sprintf("O%d", nextO)
+				nextO++
+			}
+		}
+		ls := labels
+		sym.ClockVector(in, func(stage int) string { return ls[stage] })
+	}
+	for i := 0; i < 6; i++ {
+		fmt.Fprintln(w, " ", sym.Equation(i))
+	}
+	live := sym.Matrix()
+	liveSels := gf2.NullCombinations(live)
+	fmt.Fprintf(w, "Rank %d -> %d X-free combinations; control data = %d halts x m*q = %d bits\n\n",
+		gf2.Rank(live), len(liveSels),
+		xcancel.Halts(4, 6, 2), xcancel.ControlBitsPerHaltCeil(4, 6, 2))
+	return nil
+}
+
+// runFigures456 reproduces the worked example: correlation analysis
+// (Figure 4), the partitioning trace (Figure 5), mask generation (Figure 6),
+// and the Section 4 cost-function walk-through for both MISR configurations.
+func runFigures456(w io.Writer) error {
+	fmt.Fprintln(w, "=== Figures 4-6 & Section 4: Worked example (8 patterns, 5x3 scan) ===")
+	m := fig4Map()
+	a := correlation.Analyze(m)
+	fmt.Fprintf(w, "\nFigure 4 analysis: %d X's in %d cells; max per-cell count %d\n",
+		a.TotalX, a.XCells, a.MaxCellCount())
+	lg, _ := a.LargestGroup()
+	fmt.Fprintf(w, "Largest equal-count group: %d cells with %d X's each (inter-correlation %.2f)\n",
+		lg.Size(), lg.Count, a.InterCorrelation(lg))
+
+	geom := scan.MustGeometry(5, 3)
+	for _, q := range []int{2, 1} {
+		fmt.Fprintf(w, "\n--- MISR m=10, q=%d ---\n", q)
+		res, err := core.Run(m, core.Params{
+			Geom:   geom,
+			Cancel: xcancel.Config{MISR: misr.MustStandard(10), Q: q},
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range res.Rounds {
+			verdict := "continue"
+			if !r.Accepted {
+				verdict = "stop (cost would rise)"
+			}
+			fmt.Fprintf(w, "Round %d: split on cell %d (group of %d cells with %d X's): cost %d -> %d  [%s]\n",
+				r.Round, r.SplitCell, r.GroupSize, r.GroupCount, r.CostBefore, r.CostAfter, verdict)
+		}
+		fmt.Fprintf(w, "Final: %d partitions, %d/%d X's masked, %d leak to X-canceling MISR\n",
+			len(res.Partitions), res.MaskedX, res.TotalX, res.ResidualX)
+		for i, p := range res.Partitions {
+			pats := make([]int, 0, p.Size())
+			for _, idx := range p.Patterns.Indices() {
+				pats = append(pats, idx+1) // paper numbers patterns from 1
+			}
+			cells := make([]string, 0)
+			p.Mask.Cells.ForEach(func(c int) {
+				cells = append(cells, fmt.Sprintf("SC%d[%d]", c/3+1, c%3+1))
+			})
+			fmt.Fprintf(w, "  Partition %d: patterns %v, mask %v (%d X's removed)\n", i+1, pats, cells, p.MaskedX)
+		}
+		fmt.Fprintf(w, "Control bits: masks %d + canceling %d = %d (conventional X-masking: %d)\n",
+			res.MaskBits, res.CancelBits, res.TotalBits, geom.Cells()*m.Patterns())
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runSection3 reproduces the X-value correlation analysis narrative on the
+// CKT-B-class synthetic workload.
+func runSection3(w io.Writer, scale int) error {
+	fmt.Fprintln(w, "=== Section 3: X-value correlation analysis (CKT-B class) ===")
+	prof := workload.CKTB()
+	if scale > 1 {
+		prof = workload.Scaled(prof, scale)
+	}
+	m, err := prof.Generate()
+	if err != nil {
+		return err
+	}
+	a := correlation.Analyze(m)
+	fmt.Fprintf(w, "\nScan cells: %d; X-capturing cells: %d (paper: 36,075 cells, 3,903 X-capturing)\n",
+		m.Cells(), a.XCells)
+	fmt.Fprintf(w, "90%% of X's are captured in %s of the scan cells (paper: 4.9%%)\n",
+		report.Percent(a.ConcentrationCellFraction(0.90)))
+	lg, ok := a.LargestGroup()
+	if !ok {
+		return fmt.Errorf("no X groups in workload")
+	}
+	clusters := a.SignatureClusters(lg)
+	fmt.Fprintf(w, "Largest equal-count group: %d cells each with %d X's (paper: 177 cells with 406 X's)\n",
+		lg.Size(), lg.Count)
+	fmt.Fprintf(w, "Of those, %d share the exact same pattern set (paper: 172 of 177)\n",
+		len(clusters[0].Cells))
+	fmt.Fprintf(w, "Inter-correlation of the group: %.3f\n", a.InterCorrelation(lg))
+	intra := correlation.AnalyzeIntra(m, prof.Geometry())
+	fmt.Fprintf(w, "Intra (spatial) correlation: %d X's in %d runs (mean %.2f, max %d); %.1f%% adjacent\n\n",
+		intra.TotalX, intra.Runs, intra.MeanRunLength(), intra.MaxRunLength, 100*intra.AdjacentFraction)
+	return nil
+}

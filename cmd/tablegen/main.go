@@ -1,0 +1,96 @@
+// Command tablegen regenerates every table and figure of the paper's
+// evaluation, printing measured values next to the published ones.
+//
+// Usage:
+//
+//	tablegen                  # everything
+//	tablegen -table 1         # Table 1 (control bits + test time)
+//	tablegen -figure 3        # Figure 2/3 (symbolic MISR + elimination)
+//	tablegen -figure 5        # Figures 4-6 (worked example + cost walk)
+//	tablegen -section 3       # Section 3 correlation analysis
+//	tablegen -ablation all    # design-choice ablations
+//	tablegen -scale 10        # shrink workloads 10x (quick runs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a table (1)")
+	figure := flag.Int("figure", 0, "regenerate a figure (2, 3, 4, 5 or 6)")
+	section := flag.Int("section", 0, "regenerate a section analysis (3 or 4)")
+	ablation := flag.String("ablation", "", "run an ablation: strategies, rounding, granularity, shadow, qsweep, correlation, superset, encoding, ordering, aliasing, compressedcost or all")
+	scale := flag.Int("scale", 1, "shrink the industrial workloads by this factor")
+	seeds := flag.Int("seeds", 0, "with -table 1: also print a robustness sweep over this many workload seeds")
+	flag.Parse()
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
+	if *table == 1 {
+		ran = true
+		if err := runTable1(os.Stdout, *scale); err != nil {
+			fail(err)
+		}
+		if *seeds > 1 {
+			if err := runTable1Seeds(os.Stdout, *scale, *seeds); err != nil {
+				fail(err)
+			}
+		}
+	}
+	switch *figure {
+	case 0:
+	case 2, 3:
+		ran = true
+		if err := runFigure23(os.Stdout); err != nil {
+			fail(err)
+		}
+	case 4, 5, 6:
+		ran = true
+		if err := runFigures456(os.Stdout); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown figure %d", *figure))
+	}
+	switch *section {
+	case 0:
+	case 3:
+		ran = true
+		if err := runSection3(os.Stdout, *scale); err != nil {
+			fail(err)
+		}
+	case 4:
+		ran = true
+		if err := runFigures456(os.Stdout); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown section %d", *section))
+	}
+	if *ablation != "" {
+		ran = true
+		if err := runAblation(os.Stdout, *ablation, *scale); err != nil {
+			fail(err)
+		}
+	}
+	if !ran {
+		// Default: everything, in paper order.
+		for _, step := range []func() error{
+			func() error { return runFigure23(os.Stdout) },
+			func() error { return runSection3(os.Stdout, *scale) },
+			func() error { return runFigures456(os.Stdout) },
+			func() error { return runTable1(os.Stdout, *scale) },
+			func() error { return runAblation(os.Stdout, "all", *scale) },
+		} {
+			if err := step(); err != nil {
+				fail(err)
+			}
+		}
+	}
+}

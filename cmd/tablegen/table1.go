@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"xhybrid/internal/core"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/report"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xcancel"
+)
+
+// paperTable1 holds the published Table 1 values for side-by-side printing.
+var paperTable1 = map[string]struct {
+	maskOnlyM, cancelOnlyM, proposedM float64
+	impMask, impCancel                float64
+	ttCancel, ttProposed, ttImp       float64
+}{
+	"CKT-A": {1515.15, 6.54, 5.35, 283.21, 1.22, 1.14, 1.09, 1.05},
+	"CKT-B": {108.23, 26.57, 12.22, 8.86, 2.17, 1.58, 1.26, 1.26},
+	"CKT-C": {292.93, 62.22, 41.13, 7.12, 1.51, 2.35, 1.88, 1.25},
+}
+
+// table1Params returns the paper's hybrid configuration: 32-bit MISR, q=7.
+func table1Params(p workload.Profile) core.Params {
+	return core.Params{
+		Geom:   p.Geometry(),
+		Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+	}
+}
+
+func runTable1(w io.Writer, scale int) error {
+	fmt.Fprintln(w, "=== Table 1: Control Bit Data Volume and Test Time Comparisons ===")
+	fmt.Fprintf(w, "Config: 3000 patterns (scale 1/%d), MISR m=32, q=7, 32 tester channels\n\n", scale)
+
+	bits := report.New("Control bit data volume (measured | paper)",
+		"Circuit", "X-dens", "X-Mask only [5]", "X-Cancel only [12]", "Proposed", "Impv/[5]", "Impv/[12]", "Parts")
+	times := report.New("Normalized test time (measured | paper)",
+		"Circuit", "X-Cancel only [12]", "Proposed", "Impv/[12]")
+
+	for _, prof := range workload.Profiles() {
+		name := prof.Name
+		if scale > 1 {
+			prof = workload.Scaled(prof, scale)
+		}
+		m, err := prof.Generate()
+		if err != nil {
+			return err
+		}
+		cmp, err := core.Evaluate(m, table1Params(prof))
+		if err != nil {
+			return err
+		}
+		ref := paperTable1[name]
+		bits.Row(
+			prof.Name,
+			report.Percent(cmp.XDensity),
+			fmt.Sprintf("%s | %.2fM", report.Mega(cmp.MaskOnlyBits), ref.maskOnlyM),
+			fmt.Sprintf("%s | %.2fM", report.Mega(cmp.CancelOnlyBits), ref.cancelOnlyM),
+			fmt.Sprintf("%s | %.2fM", report.Mega(cmp.HybridBits), ref.proposedM),
+			fmt.Sprintf("%s | %.2f", report.Ratio(cmp.ImprovementOverMask), ref.impMask),
+			fmt.Sprintf("%s | %.2f", report.Ratio(cmp.ImprovementOverCancel), ref.impCancel),
+			fmt.Sprintf("%d", len(cmp.Result.Partitions)),
+		)
+		times.Row(
+			prof.Name,
+			fmt.Sprintf("%s | %.2f", report.Ratio(cmp.TestTimeCancelOnly), ref.ttCancel),
+			fmt.Sprintf("%s | %.2f", report.Ratio(cmp.TestTimeHybrid), ref.ttProposed),
+			fmt.Sprintf("%s | %.2f", report.Ratio(cmp.TestTimeImprovement), ref.ttImp),
+		)
+	}
+	if err := bits.Fprint(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := times.Fprint(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nNote: paper values measured on proprietary designs; measured values use")
+	fmt.Fprintln(w, "the calibrated synthetic workloads of internal/workload (see DESIGN.md).")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runTable1Seeds resamples each workload seeds times and reports the spread
+// of the proposed method's totals — the Table 1 shape must be a property of
+// the correlation structure, not one lucky draw.
+func runTable1Seeds(w io.Writer, scale, seeds int) error {
+	fmt.Fprintf(w, "=== Table 1 robustness: %d workload seeds (scale 1/%d) ===\n\n", seeds, scale)
+	tab := report.New("Proposed-method spread over seeds",
+		"Circuit", "Proposed min", "mean", "max", "Impv/[12] min", "mean", "max")
+	for _, base := range workload.Profiles() {
+		if scale > 1 {
+			base = workload.Scaled(base, scale)
+		}
+		var bitsMin, bitsMax, impMin, impMax float64
+		var bitsSum, impSum float64
+		for s := 0; s < seeds; s++ {
+			prof := base
+			prof.Seed = base.Seed + int64(s)*1001
+			m, err := prof.Generate()
+			if err != nil {
+				return err
+			}
+			cmp, err := core.Evaluate(m, table1Params(prof))
+			if err != nil {
+				return err
+			}
+			b := float64(cmp.HybridBits)
+			imp := cmp.ImprovementOverCancel
+			if s == 0 || b < bitsMin {
+				bitsMin = b
+			}
+			if s == 0 || b > bitsMax {
+				bitsMax = b
+			}
+			if s == 0 || imp < impMin {
+				impMin = imp
+			}
+			if s == 0 || imp > impMax {
+				impMax = imp
+			}
+			bitsSum += b
+			impSum += imp
+		}
+		n := float64(seeds)
+		tab.Row(base.Name,
+			report.Mega(int(bitsMin)), report.Mega(int(bitsSum/n)), report.Mega(int(bitsMax)),
+			report.Ratio(impMin), report.Ratio(impSum/n), report.Ratio(impMax))
+	}
+	if err := tab.Fprint(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package xhybrid reproduces "Reducing Control Bit Overhead for
+// X-Masking/X-Canceling Hybrid Architecture via Pattern Partitioning"
+// (Kang, Touba, Yang — DAC 2016).
+//
+// Scan-test output responses are compacted in a MISR; unknown (X) values
+// corrupt signatures and must be handled. X-masking blocks X's before the
+// compactor but needs control bits for every scan cell of every pattern;
+// an X-canceling MISR lets X's in and removes them algebraically, paying
+// control bits per X. This package implements the paper's hybrid: test
+// patterns are partitioned by the inter-correlation of their X locations so
+// that one X-mask (which never covers an observable value — fault coverage
+// is preserved by construction) is shared by a whole partition, and the few
+// remaining X's are retired by the X-canceling MISR. A cost function stops
+// partitioning when another round of masks would cost more control bits
+// than it saves in canceling.
+//
+// The facade in this package offers the end-to-end flow on plain Go types:
+//
+//	x, _ := xhybrid.Workload("ckt-b", 0)      // or build XLocations by hand
+//	plan, _ := xhybrid.Partition(x, xhybrid.Options{})
+//	fmt.Println(plan.TotalBits, plan.ImprovementOverCancelOnly)
+//
+// The full substrate — three-valued logic simulation, gate-level netlists,
+// LFSR pattern generation, stuck-at fault simulation, GF(2) elimination,
+// symbolic MISRs, and the masking/canceling baselines — lives under
+// internal/ and is exercised by the cmd/ tools, examples/ programs, and the
+// benchmark harness.
+package xhybrid

@@ -1,0 +1,145 @@
+// Compression demonstrates the complete test-compression stack the paper's
+// introduction frames — stimulus compression feeding response compaction:
+//
+//  1. deterministic test cubes are derived for sampled stuck-at faults and
+//     relaxed to a few care bits (internal/cubes),
+//  2. each cube is encoded as LFSR seed + channel data and re-expanded by
+//     the EDT-style decompressor, preserving every care bit
+//     (internal/decompress),
+//  3. the expanded patterns are simulated and their responses flow through
+//     the hybrid X-masking / X-canceling pipeline (internal/core).
+//
+// Usage: compression [-cells 128] [-faults 48] [-seed 11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"xhybrid/internal/core"
+	"xhybrid/internal/cubes"
+	"xhybrid/internal/decompress"
+	"xhybrid/internal/fault"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/sim"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+)
+
+func main() {
+	cells := flag.Int("cells", 128, "scan cells (multiple of 16)")
+	nFaults := flag.Int("faults", 48, "targeted stuck-at faults")
+	seed := flag.Int64("seed", 11, "seed")
+	flag.Parse()
+	if *cells%16 != 0 {
+		log.Fatal("cells must be a multiple of 16")
+	}
+
+	ckt, err := netlist.Generate(netlist.GenConfig{
+		Name: "compdemo", ScanCells: *cells, PIs: 8, XClusters: 3, XFanout: 4, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	geom := scan.MustGeometry(16, *cells/16)
+	fmt.Printf("circuit: %d gates, %s\n", ckt.NumGates(), geom)
+
+	// 1. Deterministic cubes.
+	targets := fault.Sample(fault.AllFaults(ckt), *nFaults, *seed)
+	cres, err := cubes.Generate(ckt, targets, cubes.Options{Seed: uint64(*seed)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cubes: %d of %d faults covered, mean care density %.1f%%\n",
+		len(cres.Cubes), len(targets), 100*cubes.MeanCareDensity(cres.Cubes))
+
+	// 2. Encode through the decompressor and expand back.
+	dec, err := decompress.New(decompress.Config{
+		LFSR: misr.MustStandard(32), Channels: 4, Chains: geom.Chains, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	encoded, failed := 0, 0
+	var loads []logic.Vector
+	var pis []logic.Vector
+	var targetsOf []fault.Def
+	for _, cube := range cres.Cubes {
+		// Reshape the chain-major load into per-chain vectors.
+		perChain := make([]logic.Vector, geom.Chains)
+		for c := 0; c < geom.Chains; c++ {
+			perChain[c] = cube.Load[c*geom.ChainLen : (c+1)*geom.ChainLen]
+		}
+		assign, ok, err := dec.EncodeCube(perChain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			failed++
+			continue
+		}
+		expanded, err := dec.Expand(assign, geom.ChainLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flat := make(logic.Vector, 0, geom.Cells())
+		for c := 0; c < geom.Chains; c++ {
+			flat = append(flat, expanded[c]...)
+		}
+		loads = append(loads, flat)
+		pis = append(pis, cube.PIs)
+		targetsOf = append(targetsOf, cube.Fault)
+		encoded++
+	}
+	fmt.Printf("decompressor: %d cubes encoded, %d over capacity; stimulus volume %.1f%% of raw\n",
+		encoded, failed, 100*dec.CompressionRatio(geom.ChainLen))
+
+	// The expanded patterns must still detect their target faults.
+	detected := 0
+	goodSim, badSim := sim.New(ckt), sim.New(ckt)
+	for k := range loads {
+		good, _, err := goodSim.Capture(loads[k], pis[k], sim.NoFault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bad, _, err := badSim.Capture(loads[k], pis[k], sim.Fault{Node: targetsOf[k].Node, StuckAt: targetsOf[k].SA})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := range good {
+			if good[j] != logic.X && bad[j] != logic.X && good[j] != bad[j] {
+				detected++
+				break
+			}
+		}
+	}
+	fmt.Printf("verification: %d of %d expanded patterns detect their target fault\n", detected, len(loads))
+
+	// 3. Response side: compact the expanded patterns' responses with the
+	// hybrid pipeline.
+	set := scan.NewResponseSet(geom)
+	for k := range loads {
+		cap, _, err := goodSim.Capture(loads[k], pis[k], sim.NoFault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := set.Append(scan.Response{Geom: geom, Values: cap}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	m := xmap.FromResponses(set)
+	cmp, err := core.Evaluate(m, core.Params{
+		Geom:   geom,
+		Cancel: xcancel.Config{MISR: misr.MustStandard(16), Q: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("responses: %d X's; hybrid control bits %d (mask-only %d, cancel-only %d)\n",
+		cmp.TotalX, cmp.HybridBits, cmp.MaskOnlyBits, cmp.CancelOnlyBits)
+	fmt.Printf("round trip complete: stimulus and response compression on one test set\n")
+}

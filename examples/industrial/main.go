@@ -1,0 +1,93 @@
+// Industrial runs the full Table 1 flow on one of the calibrated synthetic
+// industrial profiles (CKT-A/B/C): generate the X-map, analyze its
+// correlation structure, partition, and compare against the X-masking-only
+// and X-canceling-only baselines.
+//
+// Usage: industrial [-profile ckt-b] [-scale 1] [-seed 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"xhybrid/internal/core"
+	"xhybrid/internal/correlation"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/report"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xcancel"
+)
+
+func main() {
+	profileName := flag.String("profile", "ckt-b", "ckt-a, ckt-b or ckt-c")
+	scale := flag.Int("scale", 1, "shrink the profile by this factor")
+	seed := flag.Int64("seed", 0, "generation seed (0 = profile default)")
+	flag.Parse()
+
+	var prof workload.Profile
+	switch *profileName {
+	case "ckt-a":
+		prof = workload.CKTA()
+	case "ckt-b":
+		prof = workload.CKTB()
+	case "ckt-c":
+		prof = workload.CKTC()
+	default:
+		log.Fatalf("unknown profile %q", *profileName)
+	}
+	if *scale > 1 {
+		prof = workload.Scaled(prof, *scale)
+	}
+	if *seed != 0 {
+		prof.Seed = *seed
+	}
+
+	t0 := time.Now()
+	m, err := prof.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d scan cells (%d chains x %d), %d patterns, %d X's (density %s) [generated in %v]\n",
+		prof.Name, m.Cells(), prof.Chains, prof.ChainLen, m.Patterns(), m.TotalX(),
+		report.Percent(m.Density()), time.Since(t0).Round(time.Millisecond))
+
+	a := correlation.Analyze(m)
+	fmt.Printf("correlation: %d X-capturing cells; 90%% of X's in %s of cells\n",
+		a.XCells, report.Percent(a.ConcentrationCellFraction(0.90)))
+	if g, ok := a.LargestGroup(); ok {
+		fmt.Printf("largest equal-count group: %d cells with %d X's (inter-correlation %.3f)\n",
+			g.Size(), g.Count, a.InterCorrelation(g))
+	}
+
+	t0 = time.Now()
+	cmp, err := core.Evaluate(m, core.Params{
+		Geom:   prof.Geometry(),
+		Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npartitioned into %d partitions in %v (%d rounds)\n",
+		len(cmp.Result.Partitions), time.Since(t0).Round(time.Millisecond), len(cmp.Result.Rounds))
+	for _, r := range cmp.Result.Rounds {
+		verdict := "accepted"
+		if !r.Accepted {
+			verdict = "rejected -> stop"
+		}
+		fmt.Printf("  round %d: group of %d cells with %d X's, cost %d -> %d [%s]\n",
+			r.Round, r.GroupSize, r.GroupCount, r.CostBefore, r.CostAfter, verdict)
+	}
+
+	tab := report.New("\ncontrol bit data volume",
+		"Scheme", "Bits", "vs proposed")
+	tab.Row("X-masking only [5]", report.Mega(cmp.MaskOnlyBits), report.Ratio(cmp.ImprovementOverMask))
+	tab.Row("X-canceling only [12]", report.Mega(cmp.CancelOnlyBits), report.Ratio(cmp.ImprovementOverCancel))
+	tab.Row("proposed hybrid", report.Mega(cmp.HybridBits), "1.00")
+	fmt.Println(tab)
+
+	fmt.Printf("masked %d of %d X's (residual %d)\n", cmp.Result.MaskedX, cmp.TotalX, cmp.Result.ResidualX)
+	fmt.Printf("normalized test time: %.3f (canceling-only %.3f, %.2fx reduction)\n",
+		cmp.TestTimeHybrid, cmp.TestTimeCancelOnly, cmp.TestTimeImprovement)
+}

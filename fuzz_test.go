@@ -1,0 +1,62 @@
+package xhybrid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadXLocationsText exercises the text parser: it must never panic,
+// and anything it accepts must re-serialize and re-parse to the same map.
+func FuzzReadXLocationsText(f *testing.F) {
+	f.Add("design 2 3 4\nx 0 1 2\nxr 1 0 0 2\n")
+	f.Add("design 1 1 1\n")
+	f.Add("# comment\ndesign 5 3 8\nx 7 4 2\n")
+	f.Add("design 0 0 0")
+	f.Add("x 1 1 1")
+	f.Fuzz(func(t *testing.T, in string) {
+		x, err := ReadXLocationsText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := x.WriteText(&buf); err != nil {
+			t.Fatalf("accepted input failed to serialize: %v", err)
+		}
+		y, err := ReadXLocationsText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if y.TotalX() != x.TotalX() || y.Patterns() != x.Patterns() || y.Cells() != x.Cells() {
+			t.Fatal("round trip changed the map")
+		}
+	})
+}
+
+// FuzzReadXLocationsJSON exercises the JSON reader the same way.
+func FuzzReadXLocationsJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := PaperExample().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"chains":1,"chainLen":1,"patterns":1}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		x, err := ReadXLocations(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := x.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted input failed to serialize: %v", err)
+		}
+		y, err := ReadXLocations(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if y.TotalX() != x.TotalX() {
+			t.Fatal("round trip changed the map")
+		}
+	})
+}

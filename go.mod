@@ -1,0 +1,3 @@
+module xhybrid
+
+go 1.22

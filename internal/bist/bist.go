@@ -1,0 +1,206 @@
+// Package bist wires the substrate into a STUMPS-style logic-BIST session:
+// an on-chip PRPG (LFSR plus per-chain phase shifter) generates the scan
+// loads, the circuit is simulated, and the responses run through the hybrid
+// X-handling pipeline (partition masks, spatial compaction, X-canceling
+// MISR). A faulty machine replays the *same* programmed session; the test
+// fails when any programmed signature — or the halt schedule itself, which
+// a shifted X profile disturbs — deviates from the golden run.
+package bist
+
+import (
+	"fmt"
+
+	"xhybrid/internal/atpg"
+	"xhybrid/internal/core"
+	"xhybrid/internal/fault"
+	"xhybrid/internal/flow"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/sim"
+	"xhybrid/internal/tester"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+)
+
+// Config parameterizes the self-test session.
+type Config struct {
+	// PRPGSize is the pattern-generator LFSR size.
+	PRPGSize int
+	// PRPGSeed seeds the LFSR (0 maps to 1).
+	PRPGSeed uint64
+	// TapsPerChain is the phase-shifter tap count per chain (default 3).
+	TapsPerChain int
+	// Patterns is the number of self-test patterns.
+	Patterns int
+	// Cancel is the X-canceling MISR configuration.
+	Cancel xcancel.Config
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PRPGSize < 4 || c.PRPGSize > 64 {
+		return fmt.Errorf("bist: PRPG size %d out of [4,64]", c.PRPGSize)
+	}
+	if c.Patterns < 1 {
+		return fmt.Errorf("bist: need at least one pattern")
+	}
+	if c.TapsPerChain < 0 {
+		return fmt.Errorf("bist: negative taps")
+	}
+	return c.Cancel.Validate()
+}
+
+// Controller drives self-test sessions for one circuit.
+type Controller struct {
+	cfg  Config
+	ckt  *netlist.Circuit
+	geom scan.Geometry
+	// taps[w] are the LFSR stages XORed to feed chain w.
+	taps  [][]int
+	loads []logic.Vector
+	pis   []logic.Vector
+	prog  *flow.Program
+}
+
+// New builds a controller, generating the PRPG wiring and the session's
+// stimuli, and programs the hybrid X-handling from a golden simulation.
+func New(ckt *netlist.Circuit, geom scan.Geometry, cfg Config) (*Controller, error) {
+	if cfg.TapsPerChain == 0 {
+		cfg.TapsPerChain = 3
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ckt.ScanCells) != geom.Cells() {
+		return nil, fmt.Errorf("bist: circuit has %d scan cells, geometry needs %d", len(ckt.ScanCells), geom.Cells())
+	}
+	if cfg.Cancel.MISR.Size > geom.Chains {
+		return nil, fmt.Errorf("bist: %d-bit MISR wider than %d chains", cfg.Cancel.MISR.Size, geom.Chains)
+	}
+	ct := &Controller{cfg: cfg, ckt: ckt, geom: geom}
+
+	// PRPG wiring: deterministic taps derived from the LFSR stream itself.
+	lfsr, err := atpg.NewLFSR(cfg.PRPGSize, cfg.PRPGSeed)
+	if err != nil {
+		return nil, err
+	}
+	ct.taps = make([][]int, geom.Chains)
+	for w := range ct.taps {
+		seen := map[int]bool{}
+		for len(ct.taps[w]) < cfg.TapsPerChain {
+			t := int(lfsr.NextUint64() % uint64(cfg.PRPGSize))
+			if !seen[t] {
+				seen[t] = true
+				ct.taps[w] = append(ct.taps[w], t)
+			}
+		}
+	}
+
+	// Generate the session stimuli: one PRPG cycle per shift position.
+	piGen := atpg.NewGenerator(cfg.PRPGSeed ^ 0x5a5a)
+	for p := 0; p < cfg.Patterns; p++ {
+		load := make(logic.Vector, geom.Cells())
+		for pos := 0; pos < geom.ChainLen; pos++ {
+			lfsr.NextBit()
+			state := lfsr.State()
+			for w := 0; w < geom.Chains; w++ {
+				bit := 0
+				for _, t := range ct.taps[w] {
+					bit ^= int(state >> uint(t) & 1)
+				}
+				load[geom.CellIndex(w, pos)] = logic.FromBit(bit)
+			}
+		}
+		ct.loads = append(ct.loads, load)
+		ct.pis = append(ct.pis, piGen.Pattern(len(ckt.PIs)))
+	}
+
+	// Golden simulation programs the hybrid session.
+	set, err := ct.capture(sim.NoFault)
+	if err != nil {
+		return nil, err
+	}
+	m := xmap.FromResponses(set)
+	prog, err := flow.Build(m, core.Params{Geom: geom, Cancel: cfg.Cancel},
+		tester.Config{Channels: cfg.Cancel.MISR.Size, OverlapMaskLoad: true})
+	if err != nil {
+		return nil, err
+	}
+	ct.prog = prog
+	return ct, nil
+}
+
+// Program returns the programmed hybrid session.
+func (ct *Controller) Program() *flow.Program { return ct.prog }
+
+// capture simulates the whole session under an optional fault.
+func (ct *Controller) capture(f sim.Fault) (*scan.ResponseSet, error) {
+	s := sim.New(ct.ckt)
+	set := scan.NewResponseSet(ct.geom)
+	for p := range ct.loads {
+		cap, _, err := s.Capture(ct.loads[p], ct.pis[p], f)
+		if err != nil {
+			return nil, err
+		}
+		if err := set.Append(scan.Response{Geom: ct.geom, Values: cap}); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// Session is the observable outcome of one self-test run.
+type Session struct {
+	// Report is the hardware-model replay summary.
+	Report *flow.VerifyReport
+	// Parities flattens the halt signatures' parities in order.
+	Parities []int
+	// Final is the end-of-test MISR signature.
+	Final uint64
+}
+
+// Run executes the golden (or fault-injected) session.
+func (ct *Controller) Run(f *fault.Def) (*Session, error) {
+	sf := sim.NoFault
+	if f != nil {
+		sf = sim.Fault{Node: f.Node, StuckAt: f.SA}
+	}
+	set, err := ct.capture(sf)
+	if err != nil {
+		return nil, err
+	}
+	rep, parities, final, err := replay(ct.prog, set)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{Report: rep, Parities: parities, Final: final}, nil
+}
+
+// replay is flow.VerifyResponses plus signature extraction.
+func replay(prog *flow.Program, set *scan.ResponseSet) (*flow.VerifyReport, []int, uint64, error) {
+	rep, err := flow.VerifyResponses(prog, set)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return rep, rep.SignatureParities, rep.FinalSignature, nil
+}
+
+// Detects compares a faulty session against the golden one. A fault is
+// caught when a programmed signature differs, the end-of-test signature
+// differs, or the halt schedule itself shifted (a disturbed X profile
+// invalidates the programmed canceling sequence, which hardware flags).
+func Detects(golden, faulty *Session) bool {
+	if golden.Report.Halts != faulty.Report.Halts {
+		return true
+	}
+	if len(golden.Parities) != len(faulty.Parities) {
+		return true
+	}
+	for i := range golden.Parities {
+		if golden.Parities[i] != faulty.Parities[i] {
+			return true
+		}
+	}
+	return golden.Final != faulty.Final
+}

@@ -1,0 +1,137 @@
+package bist
+
+import (
+	"testing"
+
+	"xhybrid/internal/fault"
+	"xhybrid/internal/flow"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/xcancel"
+)
+
+// sessionReportStub backs the pure-comparison tests.
+var sessionReportStub = flow.VerifyReport{Halts: 2}
+
+func setup(t *testing.T) (*netlist.Circuit, scan.Geometry, Config) {
+	t.Helper()
+	ckt, err := netlist.Generate(netlist.GenConfig{
+		Name: "bist", ScanCells: 128, PIs: 6, XClusters: 4, XFanout: 4, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := scan.MustGeometry(16, 8)
+	cfg := Config{
+		PRPGSize: 24, PRPGSeed: 7, Patterns: 48,
+		Cancel: xcancel.Config{MISR: misr.MustStandard(16), Q: 3},
+	}
+	return ckt, geom, cfg
+}
+
+func TestValidate(t *testing.T) {
+	ckt, geom, cfg := setup(t)
+	bad := cfg
+	bad.PRPGSize = 2
+	if _, err := New(ckt, geom, bad); err == nil {
+		t.Fatal("accepted tiny PRPG")
+	}
+	bad = cfg
+	bad.Patterns = 0
+	if _, err := New(ckt, geom, bad); err == nil {
+		t.Fatal("accepted zero patterns")
+	}
+	bad = cfg
+	bad.Cancel.Q = 0
+	if _, err := New(ckt, geom, bad); err == nil {
+		t.Fatal("accepted bad cancel config")
+	}
+	bad = cfg
+	bad.Cancel.MISR = misr.MustStandard(32) // wider than 16 chains
+	if _, err := New(ckt, geom, bad); err == nil {
+		t.Fatal("accepted MISR wider than chains")
+	}
+	if _, err := New(ckt, scan.MustGeometry(8, 8), cfg); err == nil {
+		t.Fatal("accepted mismatched geometry")
+	}
+}
+
+func TestGoldenSessionReproducible(t *testing.T) {
+	ckt, geom, cfg := setup(t)
+	ct, err := New(ckt, geom, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ct.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ct.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Detects(a, b) {
+		t.Fatal("golden session not reproducible")
+	}
+	if a.Report.ObservableMasked != 0 {
+		t.Fatal("golden session masked observable captures")
+	}
+	if a.Report.Halts == 0 || len(a.Parities) == 0 {
+		t.Fatal("no canceling activity in golden session")
+	}
+	if prog := ct.Program(); prog == nil || len(prog.Partitions) == 0 {
+		t.Fatal("no programmed partitions")
+	}
+}
+
+func TestFaultDetection(t *testing.T) {
+	ckt, geom, cfg := setup(t)
+	ct, err := New(ckt, geom, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := ct.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.Sample(fault.AllFaults(ckt), 24, 9)
+	detected := 0
+	for _, f := range faults {
+		f := f
+		s, err := ct.Run(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Detects(golden, s) {
+			detected++
+		}
+	}
+	// PRPG patterns plus signature comparison must catch a solid majority
+	// of random stuck-at faults on this small design.
+	if detected < len(faults)*6/10 {
+		t.Fatalf("BIST detected only %d of %d faults", detected, len(faults))
+	}
+}
+
+func TestDetectsComparisons(t *testing.T) {
+	a := &Session{Parities: []int{0, 1}, Final: 5}
+	a.Report = &sessionReportStub
+	b := &Session{Parities: []int{0, 1}, Final: 5}
+	b.Report = &sessionReportStub
+	if Detects(a, b) {
+		t.Fatal("identical sessions differ")
+	}
+	c := &Session{Parities: []int{1, 1}, Final: 5, Report: &sessionReportStub}
+	if !Detects(a, c) {
+		t.Fatal("parity difference missed")
+	}
+	d := &Session{Parities: []int{0, 1}, Final: 6, Report: &sessionReportStub}
+	if !Detects(a, d) {
+		t.Fatal("final signature difference missed")
+	}
+	e := &Session{Parities: []int{0}, Final: 5, Report: &sessionReportStub}
+	if !Detects(a, e) {
+		t.Fatal("parity count difference missed")
+	}
+}

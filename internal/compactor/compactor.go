@@ -1,0 +1,118 @@
+// Package compactor implements the spatial XOR compaction network that sits
+// between many scan chains and the MISR's m inputs (industrial designs have
+// hundreds of chains feeding a 32-bit MISR; the paper's architecture diagram
+// places the masking AND gates in front of exactly such a compactor).
+//
+// Each chain feeds exactly one XOR group, so unknowns never become
+// correlated across MISR inputs: the XOR of any set containing an unknown
+// is a single fresh unknown, which the symbolic X-canceling machinery
+// tracks as one symbol.
+package compactor
+
+import (
+	"fmt"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/scan"
+)
+
+// XORTree maps chains onto a smaller number of outputs by disjoint XOR
+// groups.
+type XORTree struct {
+	// group[c] is the output index chain c feeds.
+	group []int
+	// outputs is the number of compactor outputs (MISR inputs).
+	outputs int
+}
+
+// NewModulo builds the canonical interleaved tree: chain c feeds output
+// c mod outputs.
+func NewModulo(chains, outputs int) (*XORTree, error) {
+	if chains < 1 || outputs < 1 {
+		return nil, fmt.Errorf("compactor: need positive chains (%d) and outputs (%d)", chains, outputs)
+	}
+	if outputs > chains {
+		return nil, fmt.Errorf("compactor: %d outputs exceed %d chains", outputs, chains)
+	}
+	t := &XORTree{group: make([]int, chains), outputs: outputs}
+	for c := range t.group {
+		t.group[c] = c % outputs
+	}
+	return t, nil
+}
+
+// NewBlock builds a blocked tree: contiguous runs of chains share an output.
+func NewBlock(chains, outputs int) (*XORTree, error) {
+	t, err := NewModulo(chains, outputs)
+	if err != nil {
+		return nil, err
+	}
+	per := (chains + outputs - 1) / outputs
+	for c := range t.group {
+		t.group[c] = c / per
+	}
+	return t, nil
+}
+
+// MustModulo is NewModulo that panics on error.
+func MustModulo(chains, outputs int) *XORTree {
+	t, err := NewModulo(chains, outputs)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Chains returns the number of compactor inputs.
+func (t *XORTree) Chains() int { return len(t.group) }
+
+// Outputs returns the number of compactor outputs.
+func (t *XORTree) Outputs() int { return t.outputs }
+
+// Group returns the output index chain c feeds.
+func (t *XORTree) Group(c int) int { return t.group[c] }
+
+// Apply compacts one shift slice (one value per chain) into one value per
+// output. An output with any X input is X (the XOR of a set containing an
+// unknown is unknown); otherwise it is the XOR of its known inputs.
+func (t *XORTree) Apply(slice logic.Vector) (logic.Vector, error) {
+	if len(slice) != len(t.group) {
+		return nil, fmt.Errorf("compactor: slice width %d, want %d", len(slice), len(t.group))
+	}
+	out := make(logic.Vector, t.outputs)
+	for c, v := range slice {
+		out[t.group[c]] = logic.Xor(out[t.group[c]], v)
+	}
+	return out, nil
+}
+
+// CompactResponse compacts a full response into the per-cycle MISR input
+// slices (ChainLen slices of width Outputs).
+func (t *XORTree) CompactResponse(r scan.Response) ([]logic.Vector, error) {
+	if r.Geom.Chains != len(t.group) {
+		return nil, fmt.Errorf("compactor: response has %d chains, tree has %d", r.Geom.Chains, len(t.group))
+	}
+	out := make([]logic.Vector, r.Geom.ChainLen)
+	for cyc := 0; cyc < r.Geom.ChainLen; cyc++ {
+		v, err := t.Apply(r.Slice(cyc))
+		if err != nil {
+			return nil, err
+		}
+		out[cyc] = v
+	}
+	return out, nil
+}
+
+// XCount returns how many X's a response presents to the MISR after
+// compaction (several X's folding into one output in one cycle count once).
+func (t *XORTree) XCount(r scan.Response) (int, error) {
+	slices, err := t.CompactResponse(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, s := range slices {
+		n += s.CountX()
+	}
+	return n, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xcancel"
+)
+
+func BenchmarkRunPaperExample(b *testing.B) {
+	m := fig4()
+	p := fig4Params(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunCKTBQuarter(b *testing.B) {
+	prof := workload.Scaled(workload.CKTB(), 4)
+	m, err := prof.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaskedXIn(b *testing.B) {
+	prof := workload.Scaled(workload.CKTB(), 4)
+	m, err := prof.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &evaluator{
+		m:      m,
+		params: Params{Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}},
+		totalX: m.TotalX(),
+	}
+	all := gf2.NewVec(m.Patterns())
+	all.SetAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.maskedXIn(all)
+	}
+}

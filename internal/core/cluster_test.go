@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xcancel"
+)
+
+func TestClusteredInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		m, geom := randMap(seed)
+		res, err := RunClustered(m, Params{
+			Geom:   geom,
+			Cancel: xcancel.Config{MISR: misr.MustStandard(12), Q: 3},
+		})
+		if err != nil {
+			return false
+		}
+		cover := gf2.NewVec(m.Patterns())
+		total := 0
+		for _, part := range res.Partitions {
+			if part.Patterns.PopCountAnd(cover) != 0 {
+				return false
+			}
+			cover.Or(part.Patterns)
+			total += part.Size()
+			if part.MaskedX != part.Mask.Cells.PopCount()*part.Size() {
+				return false
+			}
+		}
+		if total != m.Patterns() {
+			return false
+		}
+		if res.MaskedX+res.ResidualX != res.TotalX || res.TotalX != m.TotalX() {
+			return false
+		}
+		return ResidualMap(m, res.Partitions).TotalX() == res.ResidualX
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// On the calibrated CKT-B workload — whose clusters have disjoint pattern
+// sets — direct clustering must find essentially the same structure as the
+// paper's Algorithm 1.
+func TestClusteredMatchesPaperOnCleanWorkload(t *testing.T) {
+	prof := workload.Scaled(workload.CKTB(), 8)
+	m, err := prof.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}}
+	paper, err := Run(m, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := RunClustered(m, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within 25% on total control bits (the one-pass greedy gives up a
+	// little on the noisy background).
+	if clustered.TotalBits > paper.TotalBits*5/4 {
+		t.Fatalf("clustered %d much worse than paper %d", clustered.TotalBits, paper.TotalBits)
+	}
+	if clustered.MaskedX == 0 {
+		t.Fatal("clustering masked nothing")
+	}
+}
+
+func TestClusteredPaperExample(t *testing.T) {
+	res, err := RunClustered(fig4(), fig4Params(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The greedy clustering must at least beat the no-partitioning cost of
+	// 85 on the worked example.
+	if res.TotalBits >= 85 {
+		t.Fatalf("clustered total %d not below the 1-partition cost 85", res.TotalBits)
+	}
+	if res.MaskedX < 16 {
+		t.Fatalf("clustered masked only %d X's", res.MaskedX)
+	}
+}
+
+func TestClusteredValidation(t *testing.T) {
+	m := fig4()
+	p := fig4Params(2)
+	p.Geom.Chains = 4
+	if _, err := RunClustered(m, p); err == nil {
+		t.Fatal("accepted geometry mismatch")
+	}
+	p = fig4Params(2)
+	p.Cancel.Q = 0
+	if _, err := RunClustered(m, p); err == nil {
+		t.Fatal("accepted bad cancel config")
+	}
+}

@@ -1,0 +1,244 @@
+// Package core implements the paper's contribution: reducing the control-bit
+// overhead of a hybrid X-masking / X-canceling-MISR architecture by
+// partitioning the test-pattern set.
+//
+// The partitioner (Algorithm 1) exploits the inter-correlation of X
+// locations: it repeatedly picks a scan cell from the largest group of cells
+// sharing the same X count and splits the pattern set into the patterns
+// where that cell captures an X and the rest. Every partition shares one
+// X-mask (a cell is masked only if it is X under every pattern of the
+// partition, so no observable value is lost), and the X's that no mask
+// removes are retired by the X-canceling MISR. A cost function — the total
+// control bits of masks plus canceling — decides when another round of
+// partitioning stops paying for itself.
+package core
+
+import (
+	"fmt"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+	"xhybrid/internal/xmask"
+)
+
+// Strategy selects how the partitioner chooses the next split.
+type Strategy int
+
+const (
+	// StrategyPaper follows Algorithm 1: among all current partitions, take
+	// the largest group of cells sharing an in-partition X count (at least
+	// two cells), and split on its lowest-indexed member. Deterministic.
+	StrategyPaper Strategy = iota
+	// StrategyPaperRandom is StrategyPaper but picks a random member of the
+	// winning group, as the paper's example does ("we randomly select one
+	// of 3 scan cells"). Seeded via Params.Seed.
+	StrategyPaperRandom
+	// StrategyGreedyCost ignores the group heuristic and evaluates the
+	// actual cost delta of every distinct candidate split, applying the
+	// best one. More expensive per round; used for the ablation study.
+	StrategyGreedyCost
+	// StrategyPaperRetry extends Algorithm 1: when the best group's split
+	// is rejected by the cost function, the next candidate groups (up to
+	// RetryBudget) are tried before giving up — the paper stops at the
+	// first rejection.
+	StrategyPaperRetry
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPaper:
+		return "paper"
+	case StrategyPaperRandom:
+		return "paper-random"
+	case StrategyGreedyCost:
+		return "greedy-cost"
+	case StrategyPaperRetry:
+		return "paper-retry"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Params configures a hybrid evaluation.
+type Params struct {
+	// Geom is the scan geometry; mask control bits cost Geom.Cells() per
+	// partition ("longest scan chain length * number of scan chains").
+	Geom scan.Geometry
+	// Cancel is the X-canceling MISR configuration (m, q).
+	Cancel xcancel.Config
+	// Strategy selects the split-selection rule.
+	Strategy Strategy
+	// Seed seeds StrategyPaperRandom's cell choice.
+	Seed int64
+	// MaxRounds caps accepted partitioning rounds; 0 means unlimited.
+	MaxRounds int
+	// ElideEmptyMasks, when set, excludes partitions whose mask covers no
+	// cell from the mask control-bit accounting (the masking hardware's
+	// all-pass default). The paper always charges every partition; this is
+	// an ablation knob.
+	ElideEmptyMasks bool
+	// GreedyCandidateCap bounds the distinct splits StrategyGreedyCost
+	// evaluates per round (largest groups first); 0 means 256.
+	GreedyCandidateCap int
+	// RetryBudget bounds the candidate groups StrategyPaperRetry tries
+	// after a cost rejection before stopping; 0 means 8.
+	RetryBudget int
+	// MaskBitsPerPartition overrides the control-bit price of one mask
+	// image (0 = the paper's Geom.Cells()). Lower prices model compressed
+	// mask delivery (see internal/xmask encoders) and shift the cost
+	// optimum toward more partitions.
+	MaskBitsPerPartition int
+}
+
+// maskImageBits returns the control-bit price of one partition mask.
+func (p Params) maskImageBits() int {
+	if p.MaskBitsPerPartition > 0 {
+		return p.MaskBitsPerPartition
+	}
+	return p.Geom.Cells()
+}
+
+func (p Params) retryBudget() int {
+	if p.RetryBudget <= 0 {
+		return 8
+	}
+	return p.RetryBudget
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if err := p.Geom.Validate(); err != nil {
+		return err
+	}
+	if err := p.Cancel.Validate(); err != nil {
+		return err
+	}
+	switch p.Strategy {
+	case StrategyPaper, StrategyPaperRandom, StrategyGreedyCost, StrategyPaperRetry:
+	default:
+		return fmt.Errorf("core: unknown strategy %d", int(p.Strategy))
+	}
+	if p.MaxRounds < 0 {
+		return fmt.Errorf("core: negative MaxRounds")
+	}
+	if p.RetryBudget < 0 {
+		return fmt.Errorf("core: negative RetryBudget")
+	}
+	if p.MaskBitsPerPartition < 0 {
+		return fmt.Errorf("core: negative MaskBitsPerPartition")
+	}
+	return nil
+}
+
+// Partition is one group of test patterns sharing a mask.
+type Partition struct {
+	// Patterns selects the member patterns.
+	Patterns gf2.Vec
+	// Mask is the shared X-mask (never masks an observable value).
+	Mask xmask.Mask
+	// MaskedX is the number of X values the mask removes across the
+	// partition's patterns.
+	MaskedX int
+}
+
+// Size returns the number of patterns in the partition.
+func (p Partition) Size() int { return p.Patterns.PopCount() }
+
+// Round records one partitioning round for tracing and tests.
+type Round struct {
+	// Round is the 1-based round number.
+	Round int
+	// SplitPartition indexes the partition (before the split) that was cut.
+	SplitPartition int
+	// SplitCell is the selected scan cell.
+	SplitCell int
+	// GroupSize and GroupCount describe the equal-count group the cell came
+	// from (group size = member cells, count = shared X count); both are 0
+	// for StrategyGreedyCost.
+	GroupSize  int
+	GroupCount int
+	// CostBefore and CostAfter are the total control bits around the split.
+	CostBefore int
+	CostAfter  int
+	// Accepted reports whether the split was kept (cost decreased).
+	Accepted bool
+}
+
+// Result is the outcome of partitioning plus the full hybrid accounting.
+type Result struct {
+	// Partitions are the final pattern partitions with their masks.
+	Partitions []Partition
+	// Rounds is the trace, including a final rejected round if the cost
+	// function terminated the process.
+	Rounds []Round
+
+	// TotalX is the number of X's in the responses.
+	TotalX int
+	// MaskedX is the number of X's removed by the partition masks.
+	MaskedX int
+	// ResidualX = TotalX - MaskedX flows into the X-canceling MISR.
+	ResidualX int
+
+	// MaskBits is the masking control-bit volume (cells * partitions,
+	// minus elided empty masks if configured).
+	MaskBits int
+	// CancelBits is the X-canceling control-bit volume for ResidualX.
+	CancelBits int
+	// TotalBits = MaskBits + CancelBits.
+	TotalBits int
+}
+
+// evaluator carries the shared state of one partitioning run.
+type evaluator struct {
+	m      *xmap.XMap
+	params Params
+	totalX int
+}
+
+// maskedXIn returns how many X's a shared mask removes in the partition.
+func (e *evaluator) maskedXIn(part gf2.Vec) int {
+	size := part.PopCount()
+	if size == 0 {
+		return 0
+	}
+	masked := 0
+	for _, c := range e.m.XCells() {
+		if c.Patterns.PopCountAnd(part) == size {
+			masked += size
+		}
+	}
+	return masked
+}
+
+// maskCellsIn returns how many cells the shared mask covers.
+func (e *evaluator) maskCellsIn(part gf2.Vec) int {
+	size := part.PopCount()
+	if size == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range e.m.XCells() {
+		if c.Patterns.PopCountAnd(part) == size {
+			n++
+		}
+	}
+	return n
+}
+
+// cost returns the paper's total-control-bit cost for a partition list given
+// the per-partition masked-X cache.
+func (e *evaluator) cost(parts []gf2.Vec, maskedX []int) int {
+	maskBits := 0
+	masked := 0
+	for i, p := range parts {
+		masked += maskedX[i]
+		if e.params.ElideEmptyMasks && e.maskCellsIn(p) == 0 {
+			continue
+		}
+		maskBits += e.params.maskImageBits()
+	}
+	residual := e.totalX - masked
+	return maskBits + xcancel.ControlBits(residual, e.params.Cancel.MISR.Size, e.params.Cancel.Q)
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+	"xhybrid/internal/xmask"
+)
+
+// Comparison is a Table 1 row: the proposed hybrid versus the X-masking-only
+// [5] and X-canceling-MISR-only [12] baselines for one design.
+type Comparison struct {
+	// Patterns is the number of test patterns applied.
+	Patterns int
+	// Cells is the total scan-cell count.
+	Cells int
+	// TotalX and XDensity characterize the responses.
+	TotalX   int
+	XDensity float64
+
+	// MaskOnlyBits is the conventional per-pattern X-masking volume [5].
+	MaskOnlyBits int
+	// CancelOnlyBits is the X-canceling-MISR-only volume [12].
+	CancelOnlyBits int
+	// HybridBits is the proposed method's total (masks + canceling).
+	HybridBits int
+
+	// ImprovementOverMask = MaskOnlyBits / HybridBits.
+	ImprovementOverMask float64
+	// ImprovementOverCancel = CancelOnlyBits / HybridBits.
+	ImprovementOverCancel float64
+
+	// TestTimeCancelOnly is the normalized time-multiplexed X-canceling
+	// test time with all X's entering the MISR.
+	TestTimeCancelOnly float64
+	// TestTimeHybrid is the normalized test time with only the residual
+	// X's entering the MISR.
+	TestTimeHybrid float64
+	// TestTimeImprovement = TestTimeCancelOnly / TestTimeHybrid.
+	TestTimeImprovement float64
+
+	// Result carries the partitioning details.
+	Result *Result
+}
+
+// Evaluate runs the partitioner and assembles the full baseline comparison.
+func Evaluate(m *xmap.XMap, params Params) (*Comparison, error) {
+	res, err := Run(m, params)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{
+		Patterns: m.Patterns(),
+		Cells:    m.Cells(),
+		TotalX:   res.TotalX,
+		XDensity: m.Density(),
+		Result:   res,
+	}
+	mSize, q := params.Cancel.MISR.Size, params.Cancel.Q
+	c.MaskOnlyBits = xmask.ControlBitsPerPattern(params.Geom, m.Patterns())
+	c.CancelOnlyBits = xcancel.ControlBits(res.TotalX, mSize, q)
+	c.HybridBits = res.TotalBits
+	if c.HybridBits > 0 {
+		c.ImprovementOverMask = float64(c.MaskOnlyBits) / float64(c.HybridBits)
+		c.ImprovementOverCancel = float64(c.CancelOnlyBits) / float64(c.HybridBits)
+	}
+
+	totalBits := m.Patterns() * m.Cells()
+	var fullDensity, residDensity float64
+	if totalBits > 0 {
+		fullDensity = float64(res.TotalX) / float64(totalBits)
+		residDensity = float64(res.ResidualX) / float64(totalBits)
+	}
+	c.TestTimeCancelOnly = xcancel.NormalizedTestTime(params.Cancel, params.Geom.Chains, fullDensity)
+	c.TestTimeHybrid = xcancel.NormalizedTestTime(params.Cancel, params.Geom.Chains, residDensity)
+	if c.TestTimeHybrid > 0 {
+		c.TestTimeImprovement = c.TestTimeCancelOnly / c.TestTimeHybrid
+	}
+	return c, nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"xhybrid/internal/correlation"
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+	"xhybrid/internal/xmask"
+)
+
+// split describes a candidate partitioning step.
+type split struct {
+	partIdx    int
+	cell       int
+	groupSize  int
+	groupCount int
+}
+
+// Run executes the partitioning algorithm on the X-map of a pattern set and
+// returns the full hybrid accounting. The X-map dimensions must match the
+// geometry (Cells) — patterns are taken from the map.
+func Run(m *xmap.XMap, params Params) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Cells() != params.Geom.Cells() {
+		return nil, fmt.Errorf("core: X-map has %d cells, geometry has %d", m.Cells(), params.Geom.Cells())
+	}
+	if m.Patterns() == 0 {
+		return nil, fmt.Errorf("core: empty pattern set")
+	}
+	e := &evaluator{m: m, params: params, totalX: m.TotalX()}
+	rng := rand.New(rand.NewSource(params.Seed))
+
+	// Start with a single partition holding every pattern.
+	all := gf2.NewVec(m.Patterns())
+	all.SetAll()
+	parts := []gf2.Vec{all}
+	maskedX := []int{e.maskedXIn(all)}
+	cost := e.cost(parts, maskedX)
+
+	var rounds []Round
+	round := 0
+outer:
+	for {
+		var attempts []split
+		switch params.Strategy {
+		case StrategyPaper, StrategyPaperRandom:
+			if cand := e.selectPaper(parts, params.Strategy == StrategyPaperRandom, rng); cand != nil {
+				attempts = []split{*cand}
+			}
+		case StrategyPaperRetry:
+			attempts = e.selectPaperList(parts, params.retryBudget())
+		case StrategyGreedyCost:
+			if cand := e.selectGreedy(parts, maskedX, cost); cand != nil {
+				attempts = []split{*cand}
+			}
+		}
+		if len(attempts) == 0 {
+			break
+		}
+		committed := false
+		for _, cand := range attempts {
+			round++
+			if params.MaxRounds > 0 && round > params.MaxRounds {
+				break outer
+			}
+			newParts, newMaskedX := e.applySplit(parts, maskedX, cand)
+			newCost := e.cost(newParts, newMaskedX)
+			r := Round{
+				Round:          round,
+				SplitPartition: cand.partIdx,
+				SplitCell:      cand.cell,
+				GroupSize:      cand.groupSize,
+				GroupCount:     cand.groupCount,
+				CostBefore:     cost,
+				CostAfter:      newCost,
+				Accepted:       newCost < cost,
+			}
+			rounds = append(rounds, r)
+			if r.Accepted {
+				parts, maskedX, cost = newParts, newMaskedX, newCost
+				committed = true
+				break
+			}
+		}
+		if !committed {
+			break
+		}
+	}
+
+	return e.finalize(parts, rounds), nil
+}
+
+// selectPaperList returns up to budget candidates in Algorithm 1 preference
+// order (largest group first, ties by count, partition, cell) — the retry
+// strategy walks this list past cost rejections.
+func (e *evaluator) selectPaperList(parts []gf2.Vec, budget int) []split {
+	var all []split
+	for i, p := range parts {
+		size := p.PopCount()
+		if size < 2 {
+			continue
+		}
+		for _, g := range correlation.GroupsWithin(e.m, p) {
+			if g.Count >= size || g.Size() < 2 {
+				continue
+			}
+			all = append(all, split{
+				partIdx:    i,
+				cell:       g.Cells[0],
+				groupSize:  g.Size(),
+				groupCount: g.Count,
+			})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].groupSize != all[b].groupSize {
+			return all[a].groupSize > all[b].groupSize
+		}
+		if all[a].groupCount != all[b].groupCount {
+			return all[a].groupCount > all[b].groupCount
+		}
+		if all[a].partIdx != all[b].partIdx {
+			return all[a].partIdx < all[b].partIdx
+		}
+		return all[a].cell < all[b].cell
+	})
+	if len(all) > budget {
+		all = all[:budget]
+	}
+	return all
+}
+
+// selectPaper implements Algorithm 1's choice: the largest in-partition
+// equal-count group with at least two member cells, splitting on its first
+// (or a random) member. Ties prefer higher X counts, then earlier
+// partitions.
+func (e *evaluator) selectPaper(parts []gf2.Vec, random bool, rng *rand.Rand) *split {
+	var best *split
+	var bestGroup correlation.Group
+	for i, p := range parts {
+		size := p.PopCount()
+		if size < 2 {
+			continue
+		}
+		for _, g := range correlation.GroupsWithin(e.m, p) {
+			if g.Count >= size || g.Size() < 2 {
+				// Fully-X cells can't split; singleton groups are not a
+				// "largest number of scan cells having the same number of
+				// X's" in the paper's sense.
+				continue
+			}
+			better := false
+			switch {
+			case best == nil:
+				better = true
+			case g.Size() != best.groupSize:
+				better = g.Size() > best.groupSize
+			case g.Count != best.groupCount:
+				better = g.Count > best.groupCount
+			}
+			if better {
+				best = &split{partIdx: i, groupSize: g.Size(), groupCount: g.Count}
+				bestGroup = g
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if random {
+		best.cell = bestGroup.Cells[rng.Intn(len(bestGroup.Cells))]
+	} else {
+		best.cell = bestGroup.Cells[0]
+	}
+	return best
+}
+
+// selectGreedy evaluates the cost delta of every distinct candidate split
+// and returns the best strictly improving one, or nil.
+func (e *evaluator) selectGreedy(parts []gf2.Vec, maskedX []int, cost int) *split {
+	cap := e.params.GreedyCandidateCap
+	if cap <= 0 {
+		cap = 256
+	}
+	type scored struct {
+		s    split
+		cost int
+	}
+	var best *scored
+	for i, p := range parts {
+		size := p.PopCount()
+		if size < 2 {
+			continue
+		}
+		// Deduplicate candidates by in-partition signature: cells with the
+		// same X patterns inside p produce identical splits. Track each
+		// signature's multiplicity — every cell sharing the signature
+		// becomes fully-X on the split's X side, so multiplicity * count
+		// is a lower bound on the X's the split masks, which ranks
+		// candidates when the cap bites.
+		type cand struct {
+			s    split
+			gain int
+		}
+		sigIdx := make(map[string]int)
+		var cands []cand
+		for _, c := range e.m.XCells() {
+			n := c.Patterns.PopCountAnd(p)
+			if n == 0 || n >= size {
+				continue
+			}
+			inPart := c.Patterns.Clone()
+			inPart.And(p)
+			key := inPart.String()
+			if j, ok := sigIdx[key]; ok {
+				cands[j].gain += n
+				continue
+			}
+			sigIdx[key] = len(cands)
+			cands = append(cands, cand{s: split{partIdx: i, cell: c.Cell}, gain: n})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].gain > cands[b].gain })
+		if len(cands) > cap {
+			cands = cands[:cap]
+		}
+		for _, ca := range cands {
+			np, nm := e.applySplit(parts, maskedX, ca.s)
+			c := e.cost(np, nm)
+			if best == nil || c < best.cost {
+				best = &scored{s: ca.s, cost: c}
+			}
+		}
+	}
+	if best == nil || best.cost >= cost {
+		return nil
+	}
+	return &best.s
+}
+
+// applySplit returns the partition list and masked-X cache after splitting
+// parts[s.partIdx] on cell s.cell. The X side replaces the parent in place
+// and the complement is appended right after it.
+func (e *evaluator) applySplit(parts []gf2.Vec, maskedX []int, s split) ([]gf2.Vec, []int) {
+	parent := parts[s.partIdx]
+	cellBits, ok := e.m.CellPatterns(s.cell)
+	if !ok {
+		panic(fmt.Sprintf("core: split cell %d captures no X", s.cell))
+	}
+	xSide := parent.Clone()
+	xSide.And(cellBits)
+	rest := parent.Clone()
+	rest.AndNot(cellBits)
+
+	newParts := make([]gf2.Vec, 0, len(parts)+1)
+	newMasked := make([]int, 0, len(parts)+1)
+	for i := range parts {
+		if i == s.partIdx {
+			newParts = append(newParts, xSide, rest)
+			newMasked = append(newMasked, e.maskedXIn(xSide), e.maskedXIn(rest))
+			continue
+		}
+		newParts = append(newParts, parts[i])
+		newMasked = append(newMasked, maskedX[i])
+	}
+	return newParts, newMasked
+}
+
+// finalize materializes the masks and the full accounting.
+func (e *evaluator) finalize(parts []gf2.Vec, rounds []Round) *Result {
+	res := &Result{Rounds: rounds, TotalX: e.totalX}
+	maskBits := 0
+	for _, p := range parts {
+		mask, mx := xmask.PartitionMask(e.m, p)
+		res.Partitions = append(res.Partitions, Partition{Patterns: p, Mask: mask, MaskedX: mx})
+		res.MaskedX += mx
+		if e.params.ElideEmptyMasks && mask.Cells.PopCount() == 0 {
+			continue
+		}
+		maskBits += e.params.maskImageBits()
+	}
+	res.ResidualX = res.TotalX - res.MaskedX
+	res.MaskBits = maskBits
+	res.CancelBits = xcancel.ControlBits(res.ResidualX, e.params.Cancel.MISR.Size, e.params.Cancel.Q)
+	res.TotalBits = res.MaskBits + res.CancelBits
+	return res
+}
+
+// ResidualMap returns a copy of the X-map with every masked X removed: the
+// X stream that actually reaches the X-canceling MISR under the plan.
+func ResidualMap(m *xmap.XMap, partitions []Partition) *xmap.XMap {
+	out := xmap.New(m.Patterns(), m.Cells())
+	for _, c := range m.XCells() {
+		c.Patterns.ForEach(func(p int) {
+			for _, part := range partitions {
+				if part.Patterns.Get(p) && part.Mask.Masks(c.Cell) {
+					return
+				}
+			}
+			out.Add(p, c.Cell)
+		})
+	}
+	return out
+}

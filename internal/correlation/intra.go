@@ -1,0 +1,75 @@
+package correlation
+
+import (
+	"xhybrid/internal/scan"
+	"xhybrid/internal/xmap"
+)
+
+// IntraStats summarizes the *intra* (spatial) correlation of X values —
+// [13]'s observation that X's "have identical or similar patterns occurring
+// in contiguous and adjacent areas of scan chains": within a single
+// pattern, X captures cluster into contiguous runs along the chains.
+type IntraStats struct {
+	// TotalX is the number of X values analyzed.
+	TotalX int
+	// Runs is the number of maximal contiguous X runs within chains,
+	// summed over patterns.
+	Runs int
+	// MaxRunLength is the longest contiguous X run observed.
+	MaxRunLength int
+	// AdjacentFraction is the fraction of X's with at least one X neighbor
+	// at an adjacent position of the same chain in the same pattern
+	// (0 = fully scattered, approaching 1 = strongly spatially clustered).
+	AdjacentFraction float64
+}
+
+// MeanRunLength returns TotalX / Runs.
+func (s IntraStats) MeanRunLength() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.TotalX) / float64(s.Runs)
+}
+
+// AnalyzeIntra computes the spatial-correlation statistics of an X-map laid
+// out on the given scan geometry (cells are chain-major, so consecutive
+// cell indices within a chain are physically adjacent scan positions).
+func AnalyzeIntra(m *xmap.XMap, g scan.Geometry) IntraStats {
+	var st IntraStats
+	adjacent := 0
+	for p := 0; p < m.Patterns(); p++ {
+		cells := m.PatternCells(p)
+		st.TotalX += len(cells)
+		runLen := 0
+		var prev int
+		for i, c := range cells {
+			newRun := true
+			if i > 0 && c == prev+1 && c/g.ChainLen == prev/g.ChainLen {
+				newRun = false
+			}
+			if newRun {
+				if runLen > st.MaxRunLength {
+					st.MaxRunLength = runLen
+				}
+				if runLen > 1 {
+					adjacent += runLen
+				}
+				st.Runs++
+				runLen = 1
+			} else {
+				runLen++
+			}
+			prev = c
+		}
+		if runLen > st.MaxRunLength {
+			st.MaxRunLength = runLen
+		}
+		if runLen > 1 {
+			adjacent += runLen
+		}
+	}
+	if st.TotalX > 0 {
+		st.AdjacentFraction = float64(adjacent) / float64(st.TotalX)
+	}
+	return st
+}

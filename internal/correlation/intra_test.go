@@ -1,0 +1,87 @@
+package correlation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xhybrid/internal/scan"
+	"xhybrid/internal/xmap"
+)
+
+func TestIntraRuns(t *testing.T) {
+	g := scan.MustGeometry(2, 5) // cells 0-4 chain 0, 5-9 chain 1
+	m := xmap.New(2, 10)
+	// Pattern 0: run {1,2,3} in chain 0, isolated {7}.
+	for _, c := range []int{1, 2, 3, 7} {
+		m.Add(0, c)
+	}
+	// Pattern 1: {4} and {5} are adjacent ids but DIFFERENT chains — two runs.
+	m.Add(1, 4)
+	m.Add(1, 5)
+	st := AnalyzeIntra(m, g)
+	if st.TotalX != 6 {
+		t.Fatalf("TotalX = %d", st.TotalX)
+	}
+	if st.Runs != 4 {
+		t.Fatalf("Runs = %d, want 4 ({1,2,3}, {7}, {4}, {5})", st.Runs)
+	}
+	if st.MaxRunLength != 3 {
+		t.Fatalf("MaxRunLength = %d, want 3", st.MaxRunLength)
+	}
+	// 3 of 6 X's sit in a multi-X run.
+	if st.AdjacentFraction != 0.5 {
+		t.Fatalf("AdjacentFraction = %f, want 0.5", st.AdjacentFraction)
+	}
+	if st.MeanRunLength() != 1.5 {
+		t.Fatalf("MeanRunLength = %f, want 1.5", st.MeanRunLength())
+	}
+}
+
+func TestIntraEmpty(t *testing.T) {
+	st := AnalyzeIntra(xmap.New(3, 10), scan.MustGeometry(2, 5))
+	if st.TotalX != 0 || st.Runs != 0 || st.AdjacentFraction != 0 || st.MeanRunLength() != 0 {
+		t.Fatalf("empty stats wrong: %+v", st)
+	}
+}
+
+// Property: runs <= TotalX, MaxRunLength <= ChainLen, fraction in [0,1],
+// and sum of run contributions is consistent.
+func TestIntraInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := scan.MustGeometry(1+r.Intn(6), 1+r.Intn(12))
+		np := 1 + r.Intn(8)
+		m := xmap.New(np, g.Cells())
+		for i := 0; i < r.Intn(80); i++ {
+			m.Add(r.Intn(np), r.Intn(g.Cells()))
+		}
+		st := AnalyzeIntra(m, g)
+		if st.TotalX != m.TotalX() {
+			return false
+		}
+		if st.Runs > st.TotalX || (st.TotalX > 0 && st.Runs == 0) {
+			return false
+		}
+		if st.MaxRunLength > g.ChainLen {
+			return false
+		}
+		return st.AdjacentFraction >= 0 && st.AdjacentFraction <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A fully contiguous chain of X's is one run with AdjacentFraction 1.
+func TestIntraFullChain(t *testing.T) {
+	g := scan.MustGeometry(1, 8)
+	m := xmap.New(1, 8)
+	for c := 0; c < 8; c++ {
+		m.Add(0, c)
+	}
+	st := AnalyzeIntra(m, g)
+	if st.Runs != 1 || st.MaxRunLength != 8 || st.AdjacentFraction != 1.0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,170 @@
+// Package cubes derives deterministic test cubes — scan-load stimuli with a
+// small set of care bits and everything else don't-care — for stuck-at
+// faults. Cubes are found by pseudo-random search and then relaxed by bit
+// stripping: every load bit that can be X'ed without losing the detection
+// (checked with the three-valued simulator) is X'ed. The resulting
+// low-care-density cubes are what the stimulus decompressor encodes.
+package cubes
+
+import (
+	"fmt"
+
+	"xhybrid/internal/atpg"
+	"xhybrid/internal/fault"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/sim"
+)
+
+// Cube is a deterministic test for one fault.
+type Cube struct {
+	// Fault is the targeted stuck-at fault.
+	Fault fault.Def
+	// Load is the scan stimulus with X's at don't-care positions.
+	Load logic.Vector
+	// PIs are the primary-input values (fully specified).
+	PIs logic.Vector
+}
+
+// CareBits returns the number of specified load bits.
+func (c Cube) CareBits() int { return len(c.Load) - c.Load.CountX() }
+
+// CareDensity returns specified load bits over total load bits.
+func (c Cube) CareDensity() float64 {
+	if len(c.Load) == 0 {
+		return 0
+	}
+	return float64(c.CareBits()) / float64(len(c.Load))
+}
+
+// Options tunes the generator.
+type Options struct {
+	// MaxRandomTries bounds the pseudo-random detection search per fault
+	// (default 256).
+	MaxRandomTries int
+	// Seed drives the random search.
+	Seed uint64
+	// SkipStripping keeps the fully specified detecting pattern (for the
+	// stripping-effect ablation).
+	SkipStripping bool
+}
+
+// Result is the outcome of cube generation.
+type Result struct {
+	// Cubes holds one cube per detected fault.
+	Cubes []Cube
+	// Undetected counts faults the random search could not detect.
+	Undetected int
+}
+
+// detects reports whether the load/pis stimulus definitely detects the
+// fault: some scan cell captures differing known values.
+func detects(goodSim, badSim *sim.Simulator, load, pis logic.Vector, f fault.Def) (bool, error) {
+	good, _, err := goodSim.Capture(load, pis, sim.NoFault)
+	if err != nil {
+		return false, err
+	}
+	bad, _, err := badSim.Capture(load, pis, sim.Fault{Node: f.Node, StuckAt: f.SA})
+	if err != nil {
+		return false, err
+	}
+	for i := range good {
+		if good[i] != logic.X && bad[i] != logic.X && good[i] != bad[i] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Generate builds cubes for the given faults.
+func Generate(c *netlist.Circuit, faults []fault.Def, opt Options) (*Result, error) {
+	if opt.MaxRandomTries <= 0 {
+		opt.MaxRandomTries = 256
+	}
+	goodSim := sim.New(c)
+	badSim := sim.New(c)
+	gen := atpg.NewGenerator(opt.Seed)
+	res := &Result{}
+	for _, f := range faults {
+		cube, found, err := findCube(c, goodSim, badSim, gen, f, opt)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			res.Undetected++
+			continue
+		}
+		res.Cubes = append(res.Cubes, cube)
+	}
+	return res, nil
+}
+
+func findCube(c *netlist.Circuit, goodSim, badSim *sim.Simulator, gen *atpg.Generator, f fault.Def, opt Options) (Cube, bool, error) {
+	for try := 0; try < opt.MaxRandomTries; try++ {
+		load := gen.Pattern(len(c.ScanCells))
+		pis := gen.Pattern(len(c.PIs))
+		hit, err := detects(goodSim, badSim, load, pis, f)
+		if err != nil {
+			return Cube{}, false, err
+		}
+		if !hit {
+			continue
+		}
+		cube := Cube{Fault: f, Load: load.Clone(), PIs: pis}
+		if !opt.SkipStripping {
+			if err := strip(goodSim, badSim, &cube); err != nil {
+				return Cube{}, false, err
+			}
+		}
+		return cube, true, nil
+	}
+	return Cube{}, false, nil
+}
+
+// strip X's every load bit whose value is not needed for detection.
+func strip(goodSim, badSim *sim.Simulator, cube *Cube) error {
+	for i := range cube.Load {
+		saved := cube.Load[i]
+		if saved == logic.X {
+			continue
+		}
+		cube.Load[i] = logic.X
+		still, err := detects(goodSim, badSim, cube.Load, cube.PIs, cube.Fault)
+		if err != nil {
+			return err
+		}
+		if !still {
+			cube.Load[i] = saved
+		}
+	}
+	return nil
+}
+
+// MeanCareDensity averages the care density over a cube set.
+func MeanCareDensity(cubes []Cube) float64 {
+	if len(cubes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cubes {
+		sum += c.CareDensity()
+	}
+	return sum / float64(len(cubes))
+}
+
+// Validate checks that every cube still detects its fault (a regression
+// guard for the stripper).
+func Validate(c *netlist.Circuit, cubes []Cube) error {
+	goodSim := sim.New(c)
+	badSim := sim.New(c)
+	for i, cube := range cubes {
+		ok, err := detects(goodSim, badSim, cube.Load, cube.PIs, cube.Fault)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("cubes: cube %d no longer detects %v", i, cube.Fault)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package cubes
+
+import (
+	"testing"
+
+	"xhybrid/internal/fault"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+func mkCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.Generate(netlist.GenConfig{
+		Name: "cubes", ScanCells: 64, PIs: 6, XClusters: 0, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateAndValidate(t *testing.T) {
+	c := mkCircuit(t)
+	faults := fault.Sample(fault.AllFaults(c), 24, 1)
+	res, err := Generate(c, faults, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cubes)+res.Undetected != len(faults) {
+		t.Fatalf("cubes %d + undetected %d != faults %d", len(res.Cubes), res.Undetected, len(faults))
+	}
+	if len(res.Cubes) == 0 {
+		t.Fatal("no cubes found by random search")
+	}
+	if err := Validate(c, res.Cubes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrippingReducesCareBits(t *testing.T) {
+	c := mkCircuit(t)
+	faults := fault.Sample(fault.AllFaults(c), 16, 2)
+	full, err := Generate(c, faults, Options{Seed: 7, SkipStripping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := Generate(c, faults, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Cubes) != len(stripped.Cubes) {
+		t.Fatalf("cube counts differ: %d vs %d", len(full.Cubes), len(stripped.Cubes))
+	}
+	fd := MeanCareDensity(full.Cubes)
+	sd := MeanCareDensity(stripped.Cubes)
+	if fd != 1.0 {
+		t.Fatalf("unstripped care density = %f, want 1.0", fd)
+	}
+	// Stripping must remove a substantial share of care bits — the whole
+	// point of stimulus compression.
+	if sd > 0.6*fd {
+		t.Fatalf("stripped density %f not well below %f", sd, fd)
+	}
+	// Stripped cubes still detect.
+	if err := Validate(c, stripped.Cubes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCareDensityHelpers(t *testing.T) {
+	cube := Cube{Load: logic.MustParseVector("1xx0")}
+	if cube.CareBits() != 2 || cube.CareDensity() != 0.5 {
+		t.Fatalf("care accounting wrong: %d %f", cube.CareBits(), cube.CareDensity())
+	}
+	if (Cube{}).CareDensity() != 0 {
+		t.Fatal("empty cube density must be 0")
+	}
+	if MeanCareDensity(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}
+
+func TestUndetectableFaultCounted(t *testing.T) {
+	// A redundant structure: OR(x, NOT(x)) is constant 1, so SA1 on its
+	// output is undetectable.
+	b := netlist.NewBuilder("redundant")
+	pi := b.Input("pi")
+	inv := b.Gate(netlist.Not, pi)
+	or := b.Gate(netlist.Or, pi, inv)
+	b.ScanDFF(or)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(c, []fault.Def{{Node: or, SA: logic.One}}, Options{Seed: 1, MaxRandomTries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undetected != 1 || len(res.Cubes) != 0 {
+		t.Fatalf("redundant fault not reported undetected: %+v", res)
+	}
+}

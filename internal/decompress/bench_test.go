@@ -1,0 +1,52 @@
+package decompress
+
+import (
+	"math/rand"
+	"testing"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/misr"
+)
+
+func benchDecompressor(b *testing.B) *Decompressor {
+	b.Helper()
+	d, err := New(Config{LFSR: misr.MustStandard(64), Channels: 8, Chains: 128, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkEncode128Chains(b *testing.B) {
+	d := benchDecompressor(b)
+	r := rand.New(rand.NewSource(2))
+	cycles := 64
+	var care []CareBit
+	for len(care) < 200 {
+		care = append(care, CareBit{
+			Chain: r.Intn(128), Pos: r.Intn(cycles), Value: logic.FromBit(r.Intn(2)),
+		})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Encode(care, cycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpand128Chains(b *testing.B) {
+	d := benchDecompressor(b)
+	cycles := 64
+	av, _, err := d.Encode(nil, cycles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Expand(av, cycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

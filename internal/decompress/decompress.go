@@ -1,0 +1,242 @@
+// Package decompress implements an EDT-style continuous-flow test-stimulus
+// decompressor: a ring generator (LFSR) fed by a few tester channels drives
+// many scan chains through a phase shifter. Deterministic test cubes (mostly
+// don't-care patterns with a few care bits) are encoded as a seed plus
+// per-cycle channel injections by solving a GF(2) linear system — the
+// stimulus-compression half of the compression story whose response half
+// the paper addresses.
+package decompress
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/misr"
+)
+
+// Config describes the decompressor hardware.
+type Config struct {
+	// LFSR is the ring generator (size and feedback polynomial).
+	LFSR misr.Config
+	// Channels is the number of tester channels injecting into the ring.
+	Channels int
+	// Chains is the number of scan chains driven by the phase shifter.
+	Chains int
+	// TapsPerChain is the number of ring stages XORed per chain output
+	// (default 3).
+	TapsPerChain int
+	// Seed determinizes the phase-shifter and injector wiring.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.LFSR.Validate(); err != nil {
+		return err
+	}
+	if c.Channels < 1 || c.Channels > c.LFSR.Size {
+		return fmt.Errorf("decompress: channels %d out of [1,%d]", c.Channels, c.LFSR.Size)
+	}
+	if c.Chains < 1 {
+		return fmt.Errorf("decompress: need at least one chain")
+	}
+	if c.TapsPerChain < 0 {
+		return fmt.Errorf("decompress: negative taps")
+	}
+	return nil
+}
+
+// Decompressor expands compressed seed data into scan-load patterns.
+type Decompressor struct {
+	cfg Config
+	// inject[k] is the ring stage channel k XORs into.
+	inject []int
+	// taps[w] are the ring stages XORed to drive chain w.
+	taps [][]int
+}
+
+// New builds a decompressor with deterministic pseudo-random wiring.
+func New(cfg Config) (*Decompressor, error) {
+	if cfg.TapsPerChain == 0 {
+		cfg.TapsPerChain = 3
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	d := &Decompressor{cfg: cfg}
+	d.inject = make([]int, cfg.Channels)
+	perm := r.Perm(cfg.LFSR.Size)
+	for k := range d.inject {
+		d.inject[k] = perm[k]
+	}
+	d.taps = make([][]int, cfg.Chains)
+	for w := range d.taps {
+		seen := map[int]bool{}
+		for len(d.taps[w]) < cfg.TapsPerChain {
+			t := r.Intn(cfg.LFSR.Size)
+			if !seen[t] {
+				seen[t] = true
+				d.taps[w] = append(d.taps[w], t)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Config returns the decompressor configuration.
+func (d *Decompressor) Config() Config { return d.cfg }
+
+// Variables returns the number of free GF(2) variables available to encode
+// a T-cycle load: the seed bits plus all channel injections.
+func (d *Decompressor) Variables(cycles int) int {
+	return d.cfg.LFSR.Size + d.cfg.Channels*cycles
+}
+
+// step advances a symbolic ring state (one dependence vector per stage) one
+// cycle and XORs in the injection variables of cycle t.
+func (d *Decompressor) step(state []gf2.Vec, t, vars int) {
+	m := d.cfg.LFSR.Size
+	carry := state[m-1]
+	next := make([]gf2.Vec, m)
+	next[0] = gf2.NewVec(vars)
+	if d.cfg.LFSR.Poly&1 != 0 {
+		next[0].Xor(carry)
+	}
+	for i := 1; i < m; i++ {
+		nv := state[i-1].Clone()
+		if d.cfg.LFSR.Poly>>uint(i)&1 != 0 {
+			nv.Xor(carry)
+		}
+		next[i] = nv
+	}
+	for k, stage := range d.inject {
+		next[stage].Flip(m + t*d.cfg.Channels + k)
+	}
+	copy(state, next)
+}
+
+// equations returns, for every (cycle, chain) output bit of a T-cycle
+// expansion, its GF(2) dependence on the variables (seed bits first, then
+// injections in cycle-major channel order).
+func (d *Decompressor) equations(cycles int) [][]gf2.Vec {
+	vars := d.Variables(cycles)
+	m := d.cfg.LFSR.Size
+	state := make([]gf2.Vec, m)
+	for i := range state {
+		state[i] = gf2.FromIndices(vars, i) // seed bit i
+	}
+	out := make([][]gf2.Vec, cycles)
+	for t := 0; t < cycles; t++ {
+		d.step(state, t, vars)
+		out[t] = make([]gf2.Vec, d.cfg.Chains)
+		for w := 0; w < d.cfg.Chains; w++ {
+			eq := gf2.NewVec(vars)
+			for _, tap := range d.taps[w] {
+				eq.Xor(state[tap])
+			}
+			out[t][w] = eq
+		}
+	}
+	return out
+}
+
+// Expand concretely decompresses an assignment of the variables into the
+// scan loads: one logic.Vector per chain of length cycles, with position p
+// receiving the bit produced at cycle cycles-1-p (first bit shifts deepest).
+func (d *Decompressor) Expand(assign gf2.Vec, cycles int) ([]logic.Vector, error) {
+	if assign.Len() != d.Variables(cycles) {
+		return nil, fmt.Errorf("decompress: assignment has %d vars, want %d", assign.Len(), d.Variables(cycles))
+	}
+	eqs := d.equations(cycles)
+	loads := make([]logic.Vector, d.cfg.Chains)
+	for w := range loads {
+		loads[w] = make(logic.Vector, cycles)
+	}
+	for t := 0; t < cycles; t++ {
+		for w := 0; w < d.cfg.Chains; w++ {
+			bit := eqs[t][w].Dot(assign)
+			loads[w][cycles-1-t] = logic.FromBit(bit)
+		}
+	}
+	return loads, nil
+}
+
+// CareBit is one specified stimulus bit of a test cube.
+type CareBit struct {
+	// Chain and Pos locate the bit in the scan load.
+	Chain, Pos int
+	// Value is the required value (logic.Zero or logic.One).
+	Value logic.V
+}
+
+// Encode solves for a variable assignment reproducing every care bit of a
+// T-cycle load, or ok=false if the cube exceeds the decompressor's capacity
+// (the linear system is inconsistent).
+func (d *Decompressor) Encode(care []CareBit, cycles int) (assign gf2.Vec, ok bool, err error) {
+	for _, cb := range care {
+		if cb.Chain < 0 || cb.Chain >= d.cfg.Chains || cb.Pos < 0 || cb.Pos >= cycles {
+			return gf2.Vec{}, false, fmt.Errorf("decompress: care bit (%d,%d) out of range", cb.Chain, cb.Pos)
+		}
+		if cb.Value != logic.Zero && cb.Value != logic.One {
+			return gf2.Vec{}, false, fmt.Errorf("decompress: care bit value must be known")
+		}
+	}
+	eqs := d.equations(cycles)
+	rows := make([]gf2.Vec, len(care))
+	rhs := gf2.NewVec(len(care))
+	for i, cb := range care {
+		t := cycles - 1 - cb.Pos
+		rows[i] = eqs[t][cb.Chain]
+		if cb.Value == logic.One {
+			rhs.Set(i)
+		}
+	}
+	if len(rows) == 0 {
+		return gf2.NewVec(d.Variables(cycles)), true, nil
+	}
+	sol, solved := gf2.Solve(gf2.MatFromRows(rows...), rhs)
+	if !solved {
+		return gf2.Vec{}, false, nil
+	}
+	return sol, true, nil
+}
+
+// EncodeCube converts a three-valued load cube (one vector per chain, X =
+// don't care) into care bits and encodes it.
+func (d *Decompressor) EncodeCube(cube []logic.Vector) (assign gf2.Vec, ok bool, err error) {
+	if len(cube) != d.cfg.Chains {
+		return gf2.Vec{}, false, fmt.Errorf("decompress: cube has %d chains, want %d", len(cube), d.cfg.Chains)
+	}
+	cycles := 0
+	var care []CareBit
+	for w, v := range cube {
+		if cycles == 0 {
+			cycles = len(v)
+		}
+		if len(v) != cycles {
+			return gf2.Vec{}, false, fmt.Errorf("decompress: ragged cube")
+		}
+		for p, val := range v {
+			if val != logic.X {
+				care = append(care, CareBit{Chain: w, Pos: p, Value: val})
+			}
+		}
+	}
+	if cycles == 0 {
+		return gf2.Vec{}, false, fmt.Errorf("decompress: empty cube")
+	}
+	return d.Encode(care, cycles)
+}
+
+// CompressionRatio returns delivered-bit volume over raw stimulus volume
+// for a T-cycle load: (seed + channel data) / (chains * T).
+func (d *Decompressor) CompressionRatio(cycles int) float64 {
+	raw := d.cfg.Chains * cycles
+	if raw == 0 {
+		return 0
+	}
+	return float64(d.Variables(cycles)) / float64(raw)
+}

@@ -1,0 +1,144 @@
+// Package diag implements dictionary-based fault diagnosis over the hybrid
+// X-handling session: every modeled fault's *syndrome* — which programmed
+// X-free signatures fail, whether the end-of-test signature fails, and
+// whether the halt schedule itself shifted — is precomputed into a fault
+// dictionary, and an observed failing session is diagnosed by syndrome
+// lookup. This is the classic signature-dictionary flow adapted to the
+// paper's architecture: the X-free combinations are the only observation
+// points, so diagnostic resolution directly measures how much observability
+// the hybrid scheme retains.
+package diag
+
+import (
+	"fmt"
+	"strings"
+
+	"xhybrid/internal/bist"
+	"xhybrid/internal/fault"
+)
+
+// Syndrome is the observable failure fingerprint of one session relative to
+// the golden session.
+type Syndrome struct {
+	// ScheduleShift marks a halt-schedule mismatch (X profile disturbed).
+	ScheduleShift bool
+	// ParityFails has one entry per golden parity; true = that signature
+	// failed. Empty when ScheduleShift (parities not comparable).
+	ParityFails []bool
+	// FinalFails marks an end-of-test signature mismatch.
+	FinalFails bool
+}
+
+// Failing reports whether the syndrome shows any failure.
+func (s Syndrome) Failing() bool {
+	if s.ScheduleShift || s.FinalFails {
+		return true
+	}
+	for _, f := range s.ParityFails {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a canonical string form for dictionary lookup.
+func (s Syndrome) Key() string {
+	var sb strings.Builder
+	if s.ScheduleShift {
+		sb.WriteString("S")
+	}
+	if s.FinalFails {
+		sb.WriteString("F")
+	}
+	sb.WriteByte(':')
+	for _, f := range s.ParityFails {
+		if f {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Compare derives the syndrome of a session against the golden run.
+func Compare(golden, observed *bist.Session) Syndrome {
+	var s Syndrome
+	if golden.Report.Halts != observed.Report.Halts || len(golden.Parities) != len(observed.Parities) {
+		s.ScheduleShift = true
+		s.FinalFails = golden.Final != observed.Final
+		return s
+	}
+	s.ParityFails = make([]bool, len(golden.Parities))
+	for i := range golden.Parities {
+		s.ParityFails[i] = golden.Parities[i] != observed.Parities[i]
+	}
+	s.FinalFails = golden.Final != observed.Final
+	return s
+}
+
+// Dictionary maps syndromes to the faults that produce them.
+type Dictionary struct {
+	golden *bist.Session
+	// buckets groups fault indices by syndrome key.
+	buckets map[string][]int
+	faults  []fault.Def
+	// Undetected lists faults with a passing (empty) syndrome.
+	Undetected []fault.Def
+}
+
+// Build runs every fault through the programmed session and indexes the
+// syndromes.
+func Build(ct *bist.Controller, faults []fault.Def) (*Dictionary, error) {
+	golden, err := ct.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dictionary{golden: golden, buckets: make(map[string][]int), faults: faults}
+	for i, f := range faults {
+		f := f
+		sess, err := ct.Run(&f)
+		if err != nil {
+			return nil, err
+		}
+		syn := Compare(golden, sess)
+		if !syn.Failing() {
+			d.Undetected = append(d.Undetected, f)
+			continue
+		}
+		key := syn.Key()
+		d.buckets[key] = append(d.buckets[key], i)
+	}
+	return d, nil
+}
+
+// Classes returns the number of distinct failing syndromes.
+func (d *Dictionary) Classes() int { return len(d.buckets) }
+
+// Detected returns the number of faults with a failing syndrome.
+func (d *Dictionary) Detected() int { return len(d.faults) - len(d.Undetected) }
+
+// Diagnose returns the candidate faults whose stored syndrome matches the
+// observed session exactly, or an error if the session passes.
+func (d *Dictionary) Diagnose(observed *bist.Session) ([]fault.Def, error) {
+	syn := Compare(d.golden, observed)
+	if !syn.Failing() {
+		return nil, fmt.Errorf("diag: session passes; nothing to diagnose")
+	}
+	idx := d.buckets[syn.Key()]
+	out := make([]fault.Def, len(idx))
+	for i, k := range idx {
+		out[i] = d.faults[k]
+	}
+	return out, nil
+}
+
+// Resolution summarizes diagnostic quality: the average number of candidate
+// faults sharing a syndrome class (1.0 = perfect resolution).
+func (d *Dictionary) Resolution() float64 {
+	if len(d.buckets) == 0 {
+		return 0
+	}
+	return float64(d.Detected()) / float64(len(d.buckets))
+}

@@ -1,0 +1,126 @@
+package diag
+
+import (
+	"testing"
+
+	"xhybrid/internal/bist"
+	"xhybrid/internal/fault"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/xcancel"
+)
+
+func controller(t *testing.T) (*bist.Controller, *netlist.Circuit) {
+	t.Helper()
+	ckt, err := netlist.Generate(netlist.GenConfig{
+		Name: "diag", ScanCells: 96, PIs: 6, XClusters: 3, XFanout: 4, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := bist.New(ckt, scan.MustGeometry(16, 6), bist.Config{
+		PRPGSize: 20, PRPGSeed: 3, Patterns: 40,
+		Cancel: xcancel.Config{MISR: misr.MustStandard(16), Q: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct, ckt
+}
+
+func TestDictionaryDiagnosis(t *testing.T) {
+	ct, ckt := controller(t)
+	faults := fault.Sample(fault.AllFaults(ckt), 20, 2)
+	d, err := Build(ct, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Detected() == 0 {
+		t.Fatal("dictionary detected nothing")
+	}
+	if d.Classes() < 2 {
+		t.Fatalf("only %d syndrome classes; no diagnostic power", d.Classes())
+	}
+	if d.Resolution() < 1 {
+		t.Fatalf("resolution %f below 1", d.Resolution())
+	}
+	// Every detected fault must be among its own diagnosis candidates.
+	for _, f := range faults {
+		f := f
+		sess, err := ct.Run(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden, err := ct.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Compare(golden, sess).Failing() {
+			continue // undetected fault
+		}
+		cands, err := d.Diagnose(sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, c := range cands {
+			if c == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("fault %v not among its own candidates %v", f, cands)
+		}
+	}
+}
+
+func TestDiagnosePassingSessionErrors(t *testing.T) {
+	ct, ckt := controller(t)
+	faults := fault.Sample(fault.AllFaults(ckt), 6, 3)
+	d, err := Build(ct, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := ct.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Diagnose(golden); err == nil {
+		t.Fatal("diagnosed a passing session")
+	}
+}
+
+func TestSyndromeKeyAndFailing(t *testing.T) {
+	s := Syndrome{}
+	if s.Failing() {
+		t.Fatal("empty syndrome failing")
+	}
+	s.ParityFails = []bool{false, true}
+	if !s.Failing() {
+		t.Fatal("parity failure missed")
+	}
+	if s.Key() != ":01" {
+		t.Fatalf("Key = %q", s.Key())
+	}
+	s2 := Syndrome{ScheduleShift: true, FinalFails: true}
+	if !s2.Failing() || s2.Key() != "SF:" {
+		t.Fatalf("Key = %q", s2.Key())
+	}
+	// Distinct syndromes must have distinct keys.
+	if s.Key() == s2.Key() {
+		t.Fatal("key collision")
+	}
+}
+
+func TestUndetectedBucketing(t *testing.T) {
+	ct, ckt := controller(t)
+	faults := fault.Sample(fault.AllFaults(ckt), 30, 5)
+	d, err := Build(ct, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Detected()+len(d.Undetected) != len(faults) {
+		t.Fatalf("detected %d + undetected %d != %d", d.Detected(), len(d.Undetected), len(faults))
+	}
+}

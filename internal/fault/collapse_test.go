@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"testing"
+
+	"xhybrid/internal/atpg"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+// chainCircuit: pi -> NOT(a) -> BUF(b) -> NOT(c) -> scan cell, all
+// fanout-free, so faults along the chain collapse onto pi.
+func chainCircuit(t *testing.T) (*netlist.Circuit, []int) {
+	b := netlist.NewBuilder("chain")
+	pi := b.Input("pi")
+	a := b.Gate(netlist.Not, pi)
+	bb := b.Gate(netlist.Buf, a)
+	cc := b.Gate(netlist.Not, bb)
+	b.ScanDFF(cc)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, []int{pi, a, bb, cc}
+}
+
+func TestCollapseChain(t *testing.T) {
+	c, nodes := chainCircuit(t)
+	var faults []Def
+	for _, n := range nodes {
+		faults = append(faults, Def{Node: n, SA: logic.Zero}, Def{Node: n, SA: logic.One})
+	}
+	classes := Collapse(c, faults)
+	// The whole chain collapses to pi/SA0 and pi/SA1.
+	if len(classes) != 2 {
+		t.Fatalf("classes = %d, want 2: %+v", len(classes), classes)
+	}
+	for _, cl := range classes {
+		if cl.Rep.Node != nodes[0] {
+			t.Fatalf("representative %v not on the chain root", cl.Rep)
+		}
+		if len(cl.Members) != 4 {
+			t.Fatalf("class has %d members, want 4", len(cl.Members))
+		}
+	}
+	// Polarity: SA0 on cc (after NOT-BUF-NOT = 2 inversions from pi... pi
+	// -> NOT a (1) -> BUF b (1) -> NOT c (0 inversions net). cc/SA0 should
+	// collapse to pi/SA0.
+	for _, cl := range classes {
+		want := cl.Rep.SA
+		for _, m := range cl.Members {
+			inv := 0
+			switch m.Node {
+			case nodes[1], nodes[2]: // after first NOT (a, b)
+				inv = 1
+			case nodes[3]: // after second NOT
+				inv = 0
+			}
+			got := m.SA
+			if inv == 1 {
+				got = logic.Not(got)
+			}
+			if got != want {
+				t.Fatalf("member %v polarity wrong for rep %v", m, cl.Rep)
+			}
+		}
+	}
+}
+
+// With fanout on the chain, collapsing must stop.
+func TestCollapseStopsAtFanout(t *testing.T) {
+	b := netlist.NewBuilder("fan")
+	pi := b.Input("pi")
+	buf := b.Gate(netlist.Buf, pi)
+	other := b.Gate(netlist.Not, pi) // pi fans out twice
+	b.ScanDFF(buf)
+	b.ScanDFF(other)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []Def{{Node: buf, SA: logic.Zero}, {Node: pi, SA: logic.Zero}}
+	classes := Collapse(c, faults)
+	if len(classes) != 2 {
+		t.Fatalf("fanout stem collapsed anyway: %+v", classes)
+	}
+}
+
+// Collapsed members must have identical detection behavior.
+func TestCollapsedMembersEquivalent(t *testing.T) {
+	c, err := netlist.Generate(netlist.GenConfig{
+		Name: "col", ScanCells: 48, PIs: 5, XClusters: 1, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := atpg.GenerateStimuli(48, len(c.ScanCells), len(c.PIs), 9)
+	all := AllFaults(c)
+	classes := Collapse(c, all)
+	if len(classes) >= len(all) {
+		t.Fatalf("no collapsing happened: %d classes for %d faults", len(classes), len(all))
+	}
+	checked := 0
+	for _, cl := range classes {
+		if len(cl.Members) < 2 || checked > 6 {
+			continue
+		}
+		checked++
+		res, err := Simulate(c, st.Loads, st.PIs, cl.Members, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(cl.Members); i++ {
+			if res.DetectedBy[i] != res.DetectedBy[0] {
+				t.Fatalf("class %v members diverge: detected by %v", cl.Rep, res.DetectedBy)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no multi-member classes to check")
+	}
+	// Representatives cover every class.
+	if len(Representatives(classes)) != len(classes) {
+		t.Fatal("Representatives wrong length")
+	}
+}

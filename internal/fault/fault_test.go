@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"testing"
+
+	"xhybrid/internal/atpg"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+// mkCircuit builds a small generated circuit with X clusters.
+func mkCircuit(t *testing.T, seed int64) *netlist.Circuit {
+	c, err := netlist.Generate(netlist.GenConfig{
+		Name:      "fsim",
+		ScanCells: 24,
+		PIs:       4,
+		XClusters: 2,
+		XFanout:   3,
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAllFaultsExcludesState(t *testing.T) {
+	c := mkCircuit(t, 1)
+	faults := AllFaults(c)
+	if len(faults) == 0 {
+		t.Fatal("no faults enumerated")
+	}
+	for _, f := range faults {
+		switch c.Gates[f.Node].Type {
+		case netlist.DFF, netlist.NonScanDFF, netlist.Tie0, netlist.Tie1, netlist.TieX:
+			t.Fatalf("fault on excluded node type %v", c.Gates[f.Node].Type)
+		}
+	}
+	// Two faults per eligible node.
+	if len(faults)%2 != 0 {
+		t.Fatal("odd fault count")
+	}
+	if faults[0].String() == "" {
+		t.Fatal("empty fault name")
+	}
+}
+
+func TestSample(t *testing.T) {
+	c := mkCircuit(t, 2)
+	faults := AllFaults(c)
+	s := Sample(faults, 10, 1)
+	if len(s) != 10 {
+		t.Fatalf("sample = %d", len(s))
+	}
+	seen := map[Def]bool{}
+	for _, f := range s {
+		if seen[f] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[f] = true
+	}
+	all := Sample(faults, len(faults)+5, 1)
+	if len(all) != len(faults) {
+		t.Fatal("oversample did not return all")
+	}
+}
+
+func TestSimulateDetectsFaults(t *testing.T) {
+	c := mkCircuit(t, 3)
+	st := atpg.GenerateStimuli(64, len(c.ScanCells), len(c.PIs), 11)
+	faults := Sample(AllFaults(c), 40, 2)
+	res, err := Simulate(c, st.Loads, st.PIs, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 40 {
+		t.Fatalf("Total = %d", res.Total)
+	}
+	if res.Detected == 0 {
+		t.Fatal("no faults detected by 64 random patterns")
+	}
+	if res.Coverage() <= 0 || res.Coverage() > 1 {
+		t.Fatalf("Coverage = %f", res.Coverage())
+	}
+	// DetectedBy consistency.
+	det := 0
+	for _, p := range res.DetectedBy {
+		if p >= 0 {
+			det++
+			if p >= 64 {
+				t.Fatalf("DetectedBy out of range: %d", p)
+			}
+		}
+	}
+	if det != res.Detected {
+		t.Fatalf("DetectedBy count %d != Detected %d", det, res.Detected)
+	}
+}
+
+// Restricting observability can only lose detections, never gain them.
+func TestObservabilityMonotonic(t *testing.T) {
+	c := mkCircuit(t, 4)
+	st := atpg.GenerateStimuli(48, len(c.ScanCells), len(c.PIs), 7)
+	faults := Sample(AllFaults(c), 30, 5)
+	full, err := Simulate(c, st.Loads, st.PIs, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block half of the scan cells.
+	blocked, err := Simulate(c, st.Loads, st.PIs, faults, func(p, cell int) bool { return cell%2 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Detected > full.Detected {
+		t.Fatalf("blocking observability increased coverage: %d > %d", blocked.Detected, full.Detected)
+	}
+	none, err := Simulate(c, st.Loads, st.PIs, faults, func(p, cell int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Detected != 0 {
+		t.Fatal("detected faults with zero observability")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	c := mkCircuit(t, 5)
+	if _, err := Simulate(c, make([]logic.Vector, 2), make([]logic.Vector, 3), nil, nil); err == nil {
+		t.Fatal("accepted mismatched stimuli")
+	}
+}
+
+func TestCoverageEmpty(t *testing.T) {
+	r := &Result{}
+	if r.Coverage() != 0 {
+		t.Fatal("empty coverage must be 0")
+	}
+}

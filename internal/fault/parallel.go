@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"fmt"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/sim"
+)
+
+// SimulateIncremental is Simulate built on the event-driven simulator: the
+// fault-free machine is evaluated once per pattern, and each remaining
+// fault re-evaluates only its fanout cone. Results match Simulate exactly.
+func SimulateIncremental(c *netlist.Circuit, loads, pis []logic.Vector, faults []Def, obs Observe) (*Result, error) {
+	if len(loads) != len(pis) {
+		return nil, fmt.Errorf("fault: %d loads but %d pi vectors", len(loads), len(pis))
+	}
+	inc := sim.NewIncremental(c)
+	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
+	for i := range res.DetectedBy {
+		res.DetectedBy[i] = -1
+	}
+	remaining := make([]int, len(faults))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for p := 0; p < len(loads) && len(remaining) > 0; p++ {
+		if err := inc.Load(loads[p], pis[p]); err != nil {
+			return nil, err
+		}
+		good, _, err := inc.Capture()
+		if err != nil {
+			return nil, err
+		}
+		keep := remaining[:0]
+		for _, fi := range remaining {
+			f := faults[fi]
+			bad, _, err := inc.WithFault(sim.Fault{Node: f.Node, StuckAt: f.SA})
+			if err != nil {
+				return nil, err
+			}
+			if detects(good, bad, p, obs) {
+				res.DetectedBy[fi] = p
+				res.Detected++
+				continue
+			}
+			keep = append(keep, fi)
+		}
+		remaining = keep
+	}
+	return res, nil
+}
+
+// SimulateParallel is Simulate built on the 64-way parallel-pattern
+// simulator: each fault is evaluated against up to 64 patterns per pass,
+// with fault dropping between batches. It produces the same Result as the
+// serial simulator (first detecting pattern per fault) at a fraction of the
+// simulation passes.
+func SimulateParallel(c *netlist.Circuit, loads, pis []logic.Vector, faults []Def, obs Observe) (*Result, error) {
+	if len(loads) != len(pis) {
+		return nil, fmt.Errorf("fault: %d loads but %d pi vectors", len(loads), len(pis))
+	}
+	goodSim := sim.NewParallel(c)
+	badSim := sim.NewParallel(c)
+	res := &Result{Total: len(faults), DetectedBy: make([]int, len(faults))}
+	for i := range res.DetectedBy {
+		res.DetectedBy[i] = -1
+	}
+	remaining := make([]int, len(faults))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for base := 0; base < len(loads) && len(remaining) > 0; base += 64 {
+		end := base + 64
+		if end > len(loads) {
+			end = len(loads)
+		}
+		good, err := goodSim.Capture(loads[base:end], pis[base:end])
+		if err != nil {
+			return nil, err
+		}
+		keep := remaining[:0]
+		for _, fi := range remaining {
+			f := faults[fi]
+			bad, err := badSim.CaptureWithFault(loads[base:end], pis[base:end], sim.Fault{Node: f.Node, StuckAt: f.SA})
+			if err != nil {
+				return nil, err
+			}
+			found := -1
+			for k := 0; k < end-base && found < 0; k++ {
+				if detects(good[k], bad[k], base+k, obs) {
+					found = base + k
+				}
+			}
+			if found >= 0 {
+				res.DetectedBy[fi] = found
+				res.Detected++
+				continue
+			}
+			keep = append(keep, fi)
+		}
+		remaining = keep
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"testing"
+
+	"xhybrid/internal/atpg"
+	"xhybrid/internal/logic"
+)
+
+// The parallel fault simulator must agree with the serial one exactly:
+// same detected set and same first detecting pattern per fault.
+func TestParallelMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		c := mkCircuit(t, seed)
+		st := atpg.GenerateStimuli(100, len(c.ScanCells), len(c.PIs), uint64(seed))
+		faults := Sample(AllFaults(c), 32, seed)
+		serial, err := Simulate(c, st.Loads, st.PIs, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := SimulateParallel(c, st.Loads, st.PIs, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Detected != par.Detected {
+			t.Fatalf("seed %d: detected %d vs %d", seed, serial.Detected, par.Detected)
+		}
+		for i := range faults {
+			if serial.DetectedBy[i] != par.DetectedBy[i] {
+				t.Fatalf("seed %d fault %d: DetectedBy %d vs %d",
+					seed, i, serial.DetectedBy[i], par.DetectedBy[i])
+			}
+		}
+	}
+}
+
+// The incremental engine must also agree with the serial one exactly.
+func TestIncrementalMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		c := mkCircuit(t, seed)
+		st := atpg.GenerateStimuli(80, len(c.ScanCells), len(c.PIs), uint64(seed))
+		faults := Sample(AllFaults(c), 28, seed)
+		serial, err := Simulate(c, st.Loads, st.PIs, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := SimulateIncremental(c, st.Loads, st.PIs, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Detected != inc.Detected {
+			t.Fatalf("seed %d: detected %d vs %d", seed, serial.Detected, inc.Detected)
+		}
+		for i := range faults {
+			if serial.DetectedBy[i] != inc.DetectedBy[i] {
+				t.Fatalf("seed %d fault %d: DetectedBy %d vs %d",
+					seed, i, serial.DetectedBy[i], inc.DetectedBy[i])
+			}
+		}
+	}
+}
+
+func TestIncrementalValidationError(t *testing.T) {
+	c := mkCircuit(t, 9)
+	if _, err := SimulateIncremental(c, make([]logic.Vector, 1), make([]logic.Vector, 2), nil, nil); err == nil {
+		t.Fatal("accepted mismatched stimuli")
+	}
+}
+
+func TestParallelWithObservability(t *testing.T) {
+	c := mkCircuit(t, 7)
+	st := atpg.GenerateStimuli(64, len(c.ScanCells), len(c.PIs), 3)
+	faults := Sample(AllFaults(c), 20, 3)
+	obs := func(p, cell int) bool { return cell%3 != 0 }
+	serial, err := Simulate(c, st.Loads, st.PIs, faults, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SimulateParallel(c, st.Loads, st.PIs, faults, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Detected != par.Detected {
+		t.Fatalf("detected %d vs %d under observability filter", serial.Detected, par.Detected)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	c := mkCircuit(t, 8)
+	if _, err := SimulateParallel(c, make([]logic.Vector, 2), make([]logic.Vector, 3), nil, nil); err == nil {
+		t.Fatal("accepted mismatched stimuli")
+	}
+}

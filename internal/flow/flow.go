@@ -1,0 +1,177 @@
+// Package flow orchestrates the complete hybrid X-handling deployment: from
+// an X-location map it builds the tester "program" — partition masks,
+// pattern application order, canceling configuration, and the cycle-level
+// schedule — and it can replay a full response set through the hardware
+// models (mask stage → spatial compactor → symbolic X-canceling MISR) to
+// verify that the program behaves as accounted: every extracted signature
+// is X-free and no observable capture was masked.
+package flow
+
+import (
+	"fmt"
+
+	"xhybrid/internal/compactor"
+	"xhybrid/internal/core"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/tester"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+)
+
+// Program is everything the tester needs to apply the hybrid test.
+type Program struct {
+	// Geom is the scan geometry.
+	Geom scan.Geometry
+	// Cancel is the X-canceling MISR configuration.
+	Cancel xcancel.Config
+	// Partitions are the pattern partitions with their masks.
+	Partitions []core.Partition
+	// PatternOrder applies partitions contiguously (one mask load each).
+	PatternOrder []int
+	// PartitionOf[i] is the partition id of PatternOrder[i].
+	PartitionOf []int
+	// Accounting mirrors core.Result for the plan.
+	Accounting *core.Result
+	// Schedule is the cycle-level tester schedule.
+	Schedule tester.Schedule
+}
+
+// Build partitions the X-map and assembles the program.
+func Build(m *xmap.XMap, params core.Params, tcfg tester.Config) (*Program, error) {
+	res, err := core.Run(m, params)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Geom:       params.Geom,
+		Cancel:     params.Cancel,
+		Partitions: res.Partitions,
+		Accounting: res,
+	}
+	sizes := make([]int, len(res.Partitions))
+	for i, p := range res.Partitions {
+		sizes[i] = p.Size()
+		for _, pat := range p.Patterns.Indices() {
+			prog.PatternOrder = append(prog.PatternOrder, pat)
+		}
+	}
+	prog.PartitionOf = tester.OrderedByPartition(sizes)
+	halts := xcancel.Halts(res.ResidualX, params.Cancel.MISR.Size, params.Cancel.Q)
+	sched, err := tester.Compute(tester.Plan{
+		Geom:             params.Geom,
+		PartitionOf:      prog.PartitionOf,
+		MaskBitsPerImage: params.Geom.Cells(),
+		Halts:            halts,
+		MISRSize:         params.Cancel.MISR.Size,
+		Q:                params.Cancel.Q,
+	}, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	prog.Schedule = sched
+	return prog, nil
+}
+
+// partitionIndex returns the partition id containing pattern p, or -1.
+func (prog *Program) partitionIndex(p int) int {
+	for i, part := range prog.Partitions {
+		if part.Patterns.Get(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// VerifyReport summarizes a hardware-model replay of the program.
+type VerifyReport struct {
+	// PatternsApplied is the number of responses replayed.
+	PatternsApplied int
+	// MaskedX is the number of X captures removed by the mask stage.
+	MaskedX int
+	// ObservableMasked counts known captures destroyed by masks — the
+	// fault-coverage guarantee demands zero.
+	ObservableMasked int
+	// ResidualX is the number of X's that reached the MISR after masking
+	// and compaction (compaction can fold several into one).
+	ResidualX int
+	// Halts and Signatures summarize the canceling sessions.
+	Halts      int
+	Signatures int
+	// Deficits counts halts that could not extract the full q combinations.
+	Deficits int
+	// ControlBits is the canceling control data actually transferred.
+	ControlBits int
+	// NormalizedTime is the measured shift+halt time over shift time.
+	NormalizedTime float64
+	// SignatureParities flattens the halt signatures' parities in order —
+	// the values compared against the golden run.
+	SignatureParities []int
+	// FinalSignature is the end-of-test MISR signature.
+	FinalSignature uint64
+}
+
+// VerifyResponses replays the full response set through the program's
+// hardware models. The responses' geometry must match the program; the
+// compactor folds the chains onto the MISR inputs.
+func VerifyResponses(prog *Program, set *scan.ResponseSet) (*VerifyReport, error) {
+	if set.Geom != prog.Geom {
+		return nil, fmt.Errorf("flow: response geometry %v does not match program %v", set.Geom, prog.Geom)
+	}
+	if set.Patterns() != len(prog.PatternOrder) {
+		return nil, fmt.Errorf("flow: %d responses for %d planned patterns", set.Patterns(), len(prog.PatternOrder))
+	}
+	tree, err := compactor.NewModulo(prog.Geom.Chains, prog.Cancel.MISR.Size)
+	if err != nil {
+		return nil, err
+	}
+	canc, err := xcancel.NewCanceler(prog.Cancel)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{}
+	for _, p := range prog.PatternOrder {
+		r := set.Responses[p]
+		pi := prog.partitionIndex(p)
+		if pi < 0 {
+			return nil, fmt.Errorf("flow: pattern %d in no partition", p)
+		}
+		mask := prog.Partitions[pi].Mask
+		// Count the mask stage's effect before applying it.
+		var maskedHere, observableHere int
+		mask.Cells.ForEach(func(cell int) {
+			if r.Values[cell] == logic.X {
+				maskedHere++
+			} else {
+				observableHere++
+			}
+		})
+		rep.MaskedX += maskedHere
+		rep.ObservableMasked += observableHere
+		masked := mask.Apply(r)
+		slices, err := tree.CompactResponse(masked)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range slices {
+			rep.ResidualX += s.CountX()
+			if err := canc.Shift(s); err != nil {
+				return nil, err
+			}
+		}
+		rep.PatternsApplied++
+	}
+	res := canc.Finish()
+	rep.Halts = len(res.Halts)
+	rep.ControlBits = res.ControlBits
+	rep.NormalizedTime = res.NormalizedTime()
+	rep.FinalSignature = res.FinalSignature
+	for _, h := range res.Halts {
+		rep.Signatures += len(h.Signatures)
+		rep.Deficits += h.Deficit
+		for _, sig := range h.Signatures {
+			rep.SignatureParities = append(rep.SignatureParities, sig.Parity)
+		}
+	}
+	return rep, nil
+}

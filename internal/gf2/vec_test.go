@@ -1,0 +1,240 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVecEmpty(t *testing.T) {
+	v := NewVec(0)
+	if v.Len() != 0 || !v.IsZero() || v.PopCount() != 0 {
+		t.Fatalf("empty vec misbehaves: %+v", v)
+	}
+}
+
+func TestSetGetClearFlip(t *testing.T) {
+	v := NewVec(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+		v.Flip(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Flip", i)
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after double Flip", i)
+		}
+	}
+}
+
+func TestSetBool(t *testing.T) {
+	v := NewVec(10)
+	v.SetBool(3, true)
+	if !v.Get(3) {
+		t.Fatal("SetBool(true) did not set")
+	}
+	v.SetBool(3, false)
+	if v.Get(3) {
+		t.Fatal("SetBool(false) did not clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Get")
+		}
+	}()
+	v := NewVec(5)
+	v.Get(5)
+}
+
+func TestFromBitsAndIndices(t *testing.T) {
+	a := FromBits([]int{1, 0, 0, 1, 1})
+	b := FromIndices(5, 0, 3, 4)
+	if !a.Equal(b) {
+		t.Fatalf("FromBits %v != FromIndices %v", a, b)
+	}
+	if got := a.Indices(); len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("Indices = %v", got)
+	}
+}
+
+func TestParseVec(t *testing.T) {
+	v := ParseVec("10_1 1")
+	if v.Len() != 4 || !v.Get(0) || v.Get(1) || !v.Get(2) || !v.Get(3) {
+		t.Fatalf("ParseVec wrong: %v", v)
+	}
+	if v.String() != "1011" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestXorAndOrAndNot(t *testing.T) {
+	a := ParseVec("110010")
+	b := ParseVec("011011")
+	x := a.Clone()
+	x.Xor(b)
+	if x.String() != "101001" {
+		t.Fatalf("Xor = %v", x)
+	}
+	x = a.Clone()
+	x.And(b)
+	if x.String() != "010010" {
+		t.Fatalf("And = %v", x)
+	}
+	x = a.Clone()
+	x.Or(b)
+	if x.String() != "111011" {
+		t.Fatalf("Or = %v", x)
+	}
+	x = a.Clone()
+	x.AndNot(b)
+	if x.String() != "100000" {
+		t.Fatalf("AndNot = %v", x)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	a := NewVec(3)
+	b := NewVec(4)
+	a.Xor(b)
+}
+
+func TestPopCountAnd(t *testing.T) {
+	a := FromIndices(200, 0, 64, 128, 199)
+	b := FromIndices(200, 0, 65, 128, 150)
+	if got := a.PopCountAnd(b); got != 2 {
+		t.Fatalf("PopCountAnd = %d, want 2", got)
+	}
+}
+
+func TestSetAllAndReset(t *testing.T) {
+	v := NewVec(70)
+	v.SetAll()
+	if v.PopCount() != 70 {
+		t.Fatalf("SetAll popcount = %d, want 70", v.PopCount())
+	}
+	v.Reset()
+	if !v.IsZero() {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	v := FromIndices(150, 3, 64, 149)
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 149}, {149, 149}, {150, -1}, {-5, 3},
+	}
+	for _, c := range cases {
+		if got := v.NextSet(c.from); got != c.want {
+			t.Fatalf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if NewVec(80).NextSet(0) != -1 {
+		t.Fatal("NextSet on zero vector should be -1")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	v := FromIndices(130, 129, 5, 64)
+	var got []int
+	v.ForEach(func(i int) { got = append(got, i) })
+	want := []int{5, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParityAndDot(t *testing.T) {
+	a := ParseVec("1101")
+	if a.Parity() != 1 {
+		t.Fatalf("Parity = %d", a.Parity())
+	}
+	b := ParseVec("1011")
+	// common set bits at 0 and 3 -> dot = 0
+	if a.Dot(b) != 0 {
+		t.Fatalf("Dot = %d, want 0", a.Dot(b))
+	}
+	c := ParseVec("0100")
+	if a.Dot(c) != 1 {
+		t.Fatalf("Dot = %d, want 1", a.Dot(c))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(10, 2)
+	b := a.Clone()
+	b.Set(5)
+	if a.Get(5) {
+		t.Fatal("Clone shares storage")
+	}
+	a.CopyFrom(b)
+	if !a.Get(5) {
+		t.Fatal("CopyFrom did not copy")
+	}
+}
+
+func randVec(r *rand.Rand, n int) Vec {
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Property: Xor is an involution and commutative via popcount symmetry.
+func TestXorProperties(t *testing.T) {
+	f := func(seed int64, ln uint8) bool {
+		n := int(ln)%257 + 1
+		r := rand.New(rand.NewSource(seed))
+		a := randVec(r, n)
+		b := randVec(r, n)
+		orig := a.Clone()
+		a.Xor(b)
+		a.Xor(b)
+		return a.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: popcount(a^b) = popcount(a) + popcount(b) - 2*popcount(a&b).
+func TestPopCountXorIdentity(t *testing.T) {
+	f := func(seed int64, ln uint8) bool {
+		n := int(ln)%300 + 1
+		r := rand.New(rand.NewSource(seed))
+		a := randVec(r, n)
+		b := randVec(r, n)
+		x := a.Clone()
+		x.Xor(b)
+		return x.PopCount() == a.PopCount()+b.PopCount()-2*a.PopCountAnd(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package logic implements three-valued (0, 1, X) logic used throughout the
+// scan-test substrate. X models an unknown value from sources such as
+// uninitialized memory elements, bus contention, or floating tri-states;
+// all gate operations propagate X pessimistically, with controlling values
+// dominating (AND(0, X) = 0, OR(1, X) = 1).
+package logic
+
+import "fmt"
+
+// V is a three-valued logic value.
+type V uint8
+
+// The three logic values. The numeric values of Zero and One match their
+// Boolean meaning so that V(b&1) conversions are safe for known values.
+const (
+	Zero V = 0
+	One  V = 1
+	X    V = 2
+)
+
+// FromBool converts a Boolean to a known logic value.
+func FromBool(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// FromBit converts bit b (0 or 1) to a known logic value.
+func FromBit(b int) V {
+	if b&1 != 0 {
+		return One
+	}
+	return Zero
+}
+
+// Parse converts a rune to a logic value: '0', '1', 'x'/'X'.
+func Parse(r rune) (V, error) {
+	switch r {
+	case '0':
+		return Zero, nil
+	case '1':
+		return One, nil
+	case 'x', 'X':
+		return X, nil
+	}
+	return X, fmt.Errorf("logic: invalid value %q", r)
+}
+
+// IsKnown reports whether v is 0 or 1 (not X).
+func (v V) IsKnown() bool { return v != X }
+
+// Bit returns 0 or 1 for a known value; it panics on X.
+func (v V) Bit() int {
+	if v == X {
+		panic("logic: Bit of X")
+	}
+	return int(v)
+}
+
+// String returns "0", "1" or "X".
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("V(%d)", uint8(v))
+}
+
+// Not returns the three-valued complement.
+func Not(a V) V {
+	switch a {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// And returns the three-valued AND: a controlling 0 dominates X.
+func And(a, b V) V {
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	if a == One && b == One {
+		return One
+	}
+	return X
+}
+
+// Or returns the three-valued OR: a controlling 1 dominates X.
+func Or(a, b V) V {
+	if a == One || b == One {
+		return One
+	}
+	if a == Zero && b == Zero {
+		return Zero
+	}
+	return X
+}
+
+// Xor returns the three-valued XOR: any X input yields X.
+func Xor(a, b V) V {
+	if a == X || b == X {
+		return X
+	}
+	return a ^ b
+}
+
+// Nand returns NOT(AND(a, b)).
+func Nand(a, b V) V { return Not(And(a, b)) }
+
+// Nor returns NOT(OR(a, b)).
+func Nor(a, b V) V { return Not(Or(a, b)) }
+
+// Xnor returns NOT(XOR(a, b)).
+func Xnor(a, b V) V { return Not(Xor(a, b)) }
+
+// Mux returns d0 when sel=0, d1 when sel=1; with sel=X it returns the common
+// data value if d0 == d1 and both are known, else X.
+func Mux(sel, d0, d1 V) V {
+	switch sel {
+	case Zero:
+		return d0
+	case One:
+		return d1
+	}
+	if d0 == d1 && d0 != X {
+		return d0
+	}
+	return X
+}
+
+// AndN folds And over one or more inputs.
+func AndN(vs ...V) V {
+	out := One
+	for _, v := range vs {
+		out = And(out, v)
+	}
+	return out
+}
+
+// OrN folds Or over one or more inputs.
+func OrN(vs ...V) V {
+	out := Zero
+	for _, v := range vs {
+		out = Or(out, v)
+	}
+	return out
+}
+
+// XorN folds Xor over one or more inputs.
+func XorN(vs ...V) V {
+	out := Zero
+	for _, v := range vs {
+		out = Xor(out, v)
+	}
+	return out
+}

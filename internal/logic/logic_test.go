@@ -1,0 +1,179 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var all = []V{Zero, One, X}
+
+func TestStringAndParse(t *testing.T) {
+	for _, v := range all {
+		got, err := Parse(rune(v.String()[0]))
+		if err != nil || got != v {
+			t.Fatalf("Parse(String(%v)) = %v, %v", v, got, err)
+		}
+	}
+	if _, err := Parse('z'); err == nil {
+		t.Fatal("Parse accepted invalid rune")
+	}
+	if V(7).String() == "" {
+		t.Fatal("String of invalid value empty")
+	}
+}
+
+func TestFromBoolFromBit(t *testing.T) {
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Fatal("FromBool wrong")
+	}
+	if FromBit(1) != One || FromBit(0) != Zero || FromBit(3) != One {
+		t.Fatal("FromBit wrong")
+	}
+}
+
+func TestBitPanicsOnX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit(X) must panic")
+		}
+	}()
+	X.Bit()
+}
+
+func TestTruthTables(t *testing.T) {
+	type c struct {
+		f        func(a, b V) V
+		name     string
+		expected [3][3]V // indexed [a][b]
+	}
+	cases := []c{
+		{And, "And", [3][3]V{
+			{Zero, Zero, Zero},
+			{Zero, One, X},
+			{Zero, X, X},
+		}},
+		{Or, "Or", [3][3]V{
+			{Zero, One, X},
+			{One, One, One},
+			{X, One, X},
+		}},
+		{Xor, "Xor", [3][3]V{
+			{Zero, One, X},
+			{One, Zero, X},
+			{X, X, X},
+		}},
+	}
+	for _, tc := range cases {
+		for _, a := range all {
+			for _, b := range all {
+				if got := tc.f(a, b); got != tc.expected[a][b] {
+					t.Fatalf("%s(%v,%v) = %v, want %v", tc.name, a, b, got, tc.expected[a][b])
+				}
+			}
+		}
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	for _, a := range all {
+		for _, b := range all {
+			if Nand(a, b) != Or(Not(a), Not(b)) {
+				t.Fatalf("De Morgan NAND fails at %v,%v", a, b)
+			}
+			if Nor(a, b) != And(Not(a), Not(b)) {
+				t.Fatalf("De Morgan NOR fails at %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestNotInvolution(t *testing.T) {
+	for _, a := range all {
+		if Not(Not(a)) != a {
+			t.Fatalf("Not(Not(%v)) != %v", a, a)
+		}
+	}
+}
+
+func TestXnor(t *testing.T) {
+	for _, a := range all {
+		for _, b := range all {
+			if Xnor(a, b) != Not(Xor(a, b)) {
+				t.Fatalf("Xnor mismatch at %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	for _, d0 := range all {
+		for _, d1 := range all {
+			if Mux(Zero, d0, d1) != d0 {
+				t.Fatalf("Mux(0,%v,%v) != d0", d0, d1)
+			}
+			if Mux(One, d0, d1) != d1 {
+				t.Fatalf("Mux(1,%v,%v) != d1", d0, d1)
+			}
+			got := Mux(X, d0, d1)
+			if d0 == d1 && d0 != X {
+				if got != d0 {
+					t.Fatalf("Mux(X,%v,%v) = %v, want %v", d0, d1, got, d0)
+				}
+			} else if got != X {
+				t.Fatalf("Mux(X,%v,%v) = %v, want X", d0, d1, got)
+			}
+		}
+	}
+}
+
+func TestNAryFolds(t *testing.T) {
+	if AndN(One, One, One) != One || AndN(One, Zero, X) != Zero || AndN(One, X) != X {
+		t.Fatal("AndN wrong")
+	}
+	if OrN(Zero, Zero) != Zero || OrN(Zero, One, X) != One || OrN(Zero, X) != X {
+		t.Fatal("OrN wrong")
+	}
+	if XorN(One, One, One) != One || XorN(One, Zero) != One || XorN(One, X, One) != X {
+		t.Fatal("XorN wrong")
+	}
+	if AndN() != One || OrN() != Zero || XorN() != Zero {
+		t.Fatal("empty folds must be identities")
+	}
+}
+
+// Property: every binary op agrees with Boolean logic on known values.
+func TestKnownValuesMatchBoolean(t *testing.T) {
+	f := func(a, b bool) bool {
+		av, bv := FromBool(a), FromBool(b)
+		return And(av, bv) == FromBool(a && b) &&
+			Or(av, bv) == FromBool(a || b) &&
+			Xor(av, bv) == FromBool(a != b) &&
+			Not(av) == FromBool(!a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: X-pessimism — if an op returns a known value with an X input,
+// the same known value results for both substitutions of that X.
+func TestXPessimismSound(t *testing.T) {
+	binops := []func(a, b V) V{And, Or, Xor, Nand, Nor, Xnor}
+	for _, op := range binops {
+		for _, b := range all {
+			out := op(X, b)
+			if out != X {
+				if op(Zero, b) != out || op(One, b) != out {
+					t.Fatalf("unsound X resolution: op(X,%v)=%v but op(0,%v)=%v op(1,%v)=%v",
+						b, out, b, op(Zero, b), b, op(One, b))
+				}
+			}
+			out = op(b, X)
+			if out != X {
+				if op(b, Zero) != out || op(b, One) != out {
+					t.Fatalf("unsound X resolution (rhs)")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is a slice of three-valued logic values with convenience helpers.
+type Vector []V
+
+// NewVector returns a Vector of length n initialized to X (unknown),
+// matching the power-on state of uninitialized storage.
+func NewVector(n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = X
+	}
+	return v
+}
+
+// ZeroVector returns a Vector of length n initialized to all zeros.
+func ZeroVector(n int) Vector { return make(Vector, n) }
+
+// ParseVector parses a string of '0'/'1'/'x'/'X' runes (other runes such as
+// separators are ignored).
+func ParseVector(s string) (Vector, error) {
+	var v Vector
+	for _, r := range s {
+		switch r {
+		case '0', '1', 'x', 'X':
+			val, err := Parse(r)
+			if err != nil {
+				return nil, err
+			}
+			v = append(v, val)
+		case ' ', '_', '\t':
+			// separator
+		default:
+			return nil, fmt.Errorf("logic: invalid vector rune %q", r)
+		}
+	}
+	return v, nil
+}
+
+// MustParseVector is ParseVector that panics on error; for tests/fixtures.
+func MustParseVector(s string) Vector {
+	v, err := ParseVector(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Equal reports element-wise equality.
+func (v Vector) Equal(u Vector) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i := range v {
+		if v[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountX returns the number of X elements.
+func (v Vector) CountX() int {
+	n := 0
+	for _, e := range v {
+		if e == X {
+			n++
+		}
+	}
+	return n
+}
+
+// AllKnown reports whether no element is X.
+func (v Vector) AllKnown() bool { return v.CountX() == 0 }
+
+// XIndices returns the indices of X elements in ascending order.
+func (v Vector) XIndices() []int {
+	var idx []int
+	for i, e := range v {
+		if e == X {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// String renders the vector as a compact rune string.
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(len(v))
+	for _, e := range v {
+		sb.WriteString(e.String())
+	}
+	return sb.String()
+}
+
+// Compatible reports whether v and u agree on every position where both are
+// known (X matches anything). Used to compare faulty vs fault-free responses.
+func (v Vector) Compatible(u Vector) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i := range v {
+		if v[i] != X && u[i] != X && v[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}

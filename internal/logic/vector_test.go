@@ -1,0 +1,78 @@
+package logic
+
+import "testing"
+
+func TestNewVectorIsAllX(t *testing.T) {
+	v := NewVector(5)
+	if v.CountX() != 5 || v.AllKnown() {
+		t.Fatalf("NewVector not all-X: %v", v)
+	}
+	z := ZeroVector(4)
+	if z.CountX() != 0 || !z.AllKnown() {
+		t.Fatalf("ZeroVector not all-known: %v", z)
+	}
+}
+
+func TestParseVector(t *testing.T) {
+	v, err := ParseVector("01x X_1 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vector{Zero, One, X, X, One, Zero}
+	if !v.Equal(want) {
+		t.Fatalf("got %v, want %v", v, want)
+	}
+	if v.String() != "01XX10" {
+		t.Fatalf("String = %q", v.String())
+	}
+	if _, err := ParseVector("01z"); err == nil {
+		t.Fatal("ParseVector accepted invalid rune")
+	}
+}
+
+func TestMustParseVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParseVector("2")
+}
+
+func TestXIndices(t *testing.T) {
+	v := MustParseVector("x01x1")
+	idx := v.XIndices()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 3 {
+		t.Fatalf("XIndices = %v", idx)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	v := MustParseVector("01x")
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c[0] = One
+	if v.Equal(c) {
+		t.Fatal("clone shares storage or Equal broken")
+	}
+	if v.Equal(MustParseVector("01")) {
+		t.Fatal("Equal ignores length")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	a := MustParseVector("01x1")
+	b := MustParseVector("0xx1")
+	if !a.Compatible(b) {
+		t.Fatal("compatible vectors reported incompatible")
+	}
+	c := MustParseVector("11x1")
+	if a.Compatible(c) {
+		t.Fatal("incompatible vectors reported compatible")
+	}
+	if a.Compatible(MustParseVector("01x")) {
+		t.Fatal("length mismatch must be incompatible")
+	}
+}

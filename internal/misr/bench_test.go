@@ -1,0 +1,63 @@
+package misr
+
+import (
+	"math/rand"
+	"testing"
+
+	"xhybrid/internal/logic"
+)
+
+func BenchmarkConcreteClock(b *testing.B) {
+	m := MustNew(MustStandard(32))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Clock(uint64(i) & 0xFFFFFFFF)
+	}
+}
+
+func BenchmarkSymbolicClockKnownOnly(b *testing.B) {
+	s := MustNewSymbolic(MustStandard(32), 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Clock(uint64(i)&0xFFFFFFFF, nil)
+	}
+}
+
+func BenchmarkSymbolicClockWithX(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	in := make(logic.Vector, 32)
+	for i := range in {
+		switch {
+		case r.Intn(20) == 0:
+			in[i] = logic.X
+		case r.Intn(2) == 1:
+			in[i] = logic.One
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := MustNewSymbolic(MustStandard(32), 64)
+		for c := 0; c < 32; c++ {
+			s.ClockVector(in, nil)
+		}
+	}
+}
+
+func BenchmarkDependenceMatrix(b *testing.B) {
+	s := MustNewSymbolic(MustStandard(32), 64)
+	r := rand.New(rand.NewSource(2))
+	for c := 0; c < 64; c++ {
+		in := make(logic.Vector, 32)
+		for i := range in {
+			if r.Intn(40) == 0 {
+				in[i] = logic.X
+			}
+		}
+		s.ClockVector(in, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Matrix()
+	}
+}

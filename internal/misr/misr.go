@@ -1,0 +1,82 @@
+package misr
+
+import (
+	"fmt"
+
+	"xhybrid/internal/logic"
+)
+
+// MISR is a concrete (fully known-valued) multiple-input signature register.
+// Inputs are packed with input i at bit i; all inputs must be known values.
+type MISR struct {
+	cfg   Config
+	state uint64
+}
+
+// New returns a zero-initialized MISR, validating the configuration.
+func New(cfg Config) (*MISR, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MISR{cfg: cfg}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *MISR {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the MISR configuration.
+func (m *MISR) Config() Config { return m.cfg }
+
+// State returns the current signature.
+func (m *MISR) State() uint64 { return m.state }
+
+// Reset clears the signature to zero.
+func (m *MISR) Reset() { m.state = 0 }
+
+// Clock advances one cycle, XORing the packed input word into the shifted
+// state. Bits above the MISR size must be zero.
+func (m *MISR) Clock(in uint64) {
+	if in&^m.cfg.mask() != 0 {
+		panic(fmt.Sprintf("misr: input %#x exceeds %d-bit MISR", in, m.cfg.Size))
+	}
+	m.state = m.cfg.step(m.state) ^ in
+}
+
+// ClockVector advances one cycle with a logic vector input (one value per
+// stage). All values must be known; use Symbolic for X inputs.
+func (m *MISR) ClockVector(in logic.Vector) error {
+	if len(in) != m.cfg.Size {
+		return fmt.Errorf("misr: input width %d, want %d", len(in), m.cfg.Size)
+	}
+	var word uint64
+	for i, v := range in {
+		switch v {
+		case logic.One:
+			word |= 1 << uint(i)
+		case logic.Zero:
+		default:
+			return fmt.Errorf("misr: X input at stage %d; use Symbolic", i)
+		}
+	}
+	m.Clock(word)
+	return nil
+}
+
+// Signature runs a fresh MISR over a sequence of packed input words and
+// returns the final state.
+func Signature(cfg Config, inputs []uint64) (uint64, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, in := range inputs {
+		m.Clock(in)
+	}
+	return m.State(), nil
+}

@@ -1,0 +1,139 @@
+package misr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardConfigsValid(t *testing.T) {
+	for size := 1; size <= 64; size++ {
+		cfg, err := Standard(size)
+		if err != nil {
+			t.Fatalf("Standard(%d): %v", size, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Standard(%d) invalid: %v", size, err)
+		}
+	}
+	if _, err := Standard(0); err == nil {
+		t.Fatal("Standard(0) accepted")
+	}
+	if _, err := Standard(65); err == nil {
+		t.Fatal("Standard(65) accepted")
+	}
+}
+
+func TestValidateRejectsBadPoly(t *testing.T) {
+	if err := (Config{Size: 8, Poly: 0x2}).Validate(); err == nil {
+		t.Fatal("accepted p_0 = 0")
+	}
+	if err := (Config{Size: 4, Poly: 0x11}).Validate(); err == nil {
+		t.Fatal("accepted term above x^size")
+	}
+}
+
+func TestMustStandardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustStandard(0)
+}
+
+// A primitive polynomial's autonomous state cycle (no input) has period
+// 2^m - 1 from any nonzero state.
+func TestPrimitivePeriod(t *testing.T) {
+	for _, size := range []int{4, 6, 10, 16} {
+		cfg := MustStandard(size)
+		state := uint64(1)
+		period := 0
+		for {
+			state = cfg.step(state)
+			period++
+			if state == 1 {
+				break
+			}
+			if period > 1<<uint(size) {
+				t.Fatalf("size %d: no cycle found", size)
+			}
+		}
+		want := 1<<uint(size) - 1
+		if period != want {
+			t.Fatalf("size %d: period %d, want %d (polynomial not primitive)", size, period, want)
+		}
+	}
+}
+
+// MISR compaction is linear: signature(a XOR b) == signature(a) XOR
+// signature(b) when starting from the zero state.
+func TestSuperposition(t *testing.T) {
+	cfg := MustStandard(16)
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		cycles := int(n)%50 + 1
+		a := make([]uint64, cycles)
+		b := make([]uint64, cycles)
+		ab := make([]uint64, cycles)
+		for i := range a {
+			a[i] = r.Uint64() & 0xFFFF
+			b[i] = r.Uint64() & 0xFFFF
+			ab[i] = a[i] ^ b[i]
+		}
+		sa, _ := Signature(cfg, a)
+		sb, _ := Signature(cfg, b)
+		sab, _ := Signature(cfg, ab)
+		return sab == sa^sb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockRejectsWideInput(t *testing.T) {
+	m := MustNew(MustStandard(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wide input")
+		}
+	}()
+	m.Clock(0x100)
+}
+
+func TestDistinguishesSingleBitErrors(t *testing.T) {
+	// A MISR must produce different signatures for inputs differing in one
+	// bit (error polynomial of weight 1 can't alias).
+	cfg := MustStandard(12)
+	r := rand.New(rand.NewSource(3))
+	base := make([]uint64, 30)
+	for i := range base {
+		base[i] = r.Uint64() & 0xFFF
+	}
+	s0, _ := Signature(cfg, base)
+	for trial := 0; trial < 50; trial++ {
+		cyc := r.Intn(len(base))
+		bit := uint(r.Intn(12))
+		mod := append([]uint64{}, base...)
+		mod[cyc] ^= 1 << bit
+		s1, _ := Signature(cfg, mod)
+		if s0 == s1 {
+			t.Fatalf("single-bit error aliased at cycle %d bit %d", cyc, bit)
+		}
+	}
+}
+
+func TestResetAndState(t *testing.T) {
+	m := MustNew(MustStandard(8))
+	m.Clock(0xAB)
+	if m.State() == 0 {
+		t.Fatal("state still zero after clock")
+	}
+	m.Reset()
+	if m.State() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if m.Config().Size != 8 {
+		t.Fatal("Config lost")
+	}
+}

@@ -1,0 +1,115 @@
+// Package misr implements multiple-input signature registers (MISRs) for
+// output response compaction: a concrete Galois-form simulator and a
+// symbolic simulator that expresses every signature bit as a GF(2) linear
+// combination of injected input symbols. The symbolic form is the basis of
+// the X-canceling methodology: the X-dependence part of the symbolic state
+// feeds Gaussian elimination to find X-free signature combinations.
+package misr
+
+import "fmt"
+
+// Config describes a MISR: its size m (stages = parallel inputs) and its
+// characteristic polynomial p(x) = x^m + sum(p_i x^i). Poly holds bits
+// p_0..p_{m-1}; p_0 must be 1 for the update to be nonsingular.
+type Config struct {
+	Size int
+	Poly uint64
+}
+
+// primitivePolys maps register size to the low-order bits of a primitive
+// characteristic polynomial over GF(2) (bit i = coefficient of x^i; the
+// leading x^m term is implicit). Primitive polynomials maximize state-cycle
+// length and minimize structured aliasing.
+var primitivePolys = map[int]uint64{
+	4:  0x9,     // x^4 + x^3 + 1           -> taps {3,0}
+	5:  0x5,     // x^5 + x^2 + 1
+	6:  0x3,     // x^6 + x + 1
+	7:  0x9,     // x^7 + x^3 + 1
+	8:  0x71,    // x^8 + x^6 + x^5 + x^4 + 1
+	9:  0x11,    // x^9 + x^4 + 1
+	10: 0x9,     // x^10 + x^3 + 1
+	11: 0x5,     // x^11 + x^2 + 1
+	12: 0x107,   // x^12 + x^8 + x^2 + x + 1 (alt; primitive)
+	13: 0x1b,    // x^13 + x^4 + x^3 + x + 1
+	14: 0x805,   // x^14 + x^11 + x^2 + 1 (alt; primitive)
+	15: 0x3,     // x^15 + x + 1
+	16: 0x2d,    // x^16 + x^5 + x^3 + x^2 + 1
+	17: 0x9,     // x^17 + x^3 + 1
+	18: 0x81,    // x^18 + x^7 + 1
+	19: 0x27,    // x^19 + x^5 + x^2 + x + 1
+	20: 0x9,     // x^20 + x^3 + 1
+	21: 0x5,     // x^21 + x^2 + 1
+	22: 0x3,     // x^22 + x + 1
+	23: 0x21,    // x^23 + x^5 + 1
+	24: 0x87,    // x^24 + x^7 + x^2 + x + 1
+	25: 0x9,     // x^25 + x^3 + 1
+	26: 0x47,    // x^26 + x^6 + x^2 + x + 1
+	27: 0x27,    // x^27 + x^5 + x^2 + x + 1
+	28: 0x9,     // x^28 + x^3 + 1
+	29: 0x5,     // x^29 + x^2 + 1
+	30: 0x53,    // x^30 + x^6 + x^4 + x + 1
+	31: 0x9,     // x^31 + x^3 + 1
+	32: 0xc5,    // x^32 + x^7 + x^6 + x^2 + 1
+	48: 0x201c3, // x^48 + x^17 + x^8 + x^7 + x^6 + x + 1 (alt; primitive)
+	64: 0x1b,    // x^64 + x^4 + x^3 + x + 1
+}
+
+// Standard returns a MISR configuration with a known-good (primitive where
+// tabulated) characteristic polynomial for the given size.
+func Standard(size int) (Config, error) {
+	if size < 1 || size > 64 {
+		return Config{}, fmt.Errorf("misr: size %d out of supported range [1,64]", size)
+	}
+	poly, ok := primitivePolys[size]
+	if !ok {
+		// Fall back to x^m + x + 1 style; not necessarily primitive but a
+		// valid nonsingular update for sizes without a tabulated polynomial.
+		poly = 0x3
+		if size == 1 {
+			poly = 0x1
+		}
+	}
+	return Config{Size: size, Poly: poly}, nil
+}
+
+// MustStandard is Standard that panics on error; for tests and fixtures.
+func MustStandard(size int) Config {
+	c, err := Standard(size)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate checks the configuration invariants.
+func (c Config) Validate() error {
+	if c.Size < 1 || c.Size > 64 {
+		return fmt.Errorf("misr: size %d out of supported range [1,64]", c.Size)
+	}
+	if c.Poly&1 == 0 {
+		return fmt.Errorf("misr: polynomial %#x has p_0 = 0; update would be singular", c.Poly)
+	}
+	if c.Size < 64 && c.Poly>>uint(c.Size) != 0 {
+		return fmt.Errorf("misr: polynomial %#x has terms at or above x^%d", c.Poly, c.Size)
+	}
+	return nil
+}
+
+// mask returns the state mask (low Size bits set).
+func (c Config) mask() uint64 {
+	if c.Size == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(c.Size)) - 1
+}
+
+// step advances a raw state one clock with zero input: the companion-matrix
+// multiply s' = C * s for characteristic polynomial p(x).
+func (c Config) step(s uint64) uint64 {
+	fb := (s >> uint(c.Size-1)) & 1
+	s = (s << 1) & c.mask()
+	if fb == 1 {
+		s ^= c.Poly
+	}
+	return s
+}

@@ -1,0 +1,293 @@
+package misr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/logic"
+)
+
+// Symbolic is a symbolic MISR: every signature bit is maintained as
+//
+//	M_i = known_i XOR (XOR of the tracked symbols M_i depends on)
+//
+// where symbols are allocated for unknown (X) inputs — or, if desired, for
+// any input — and dependences propagate linearly through the MISR update.
+// This reproduces the paper's Figure 2 symbolic simulation and provides the
+// X-dependence matrix consumed by Gaussian elimination (Figure 3).
+type Symbolic struct {
+	cfg Config
+	// known is the contribution of known (constant) inputs to each bit.
+	known uint64
+	// deps[i] is the symbol-dependence set of signature bit i.
+	deps []gf2.Vec
+	// labels[s] names symbol s (e.g. "X1", "O3") for printed equations.
+	labels []string
+	// capSymbols is the current allocated width of the dependence vectors.
+	capSymbols int
+	cycles     int
+}
+
+// NewSymbolic returns a symbolic MISR with initial capacity for the given
+// number of symbols (the vectors grow on demand).
+func NewSymbolic(cfg Config, symbolCap int) (*Symbolic, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if symbolCap < 1 {
+		symbolCap = 16
+	}
+	s := &Symbolic{cfg: cfg, capSymbols: symbolCap}
+	s.deps = make([]gf2.Vec, cfg.Size)
+	for i := range s.deps {
+		s.deps[i] = gf2.NewVec(symbolCap)
+	}
+	return s, nil
+}
+
+// MustNewSymbolic is NewSymbolic that panics on error.
+func MustNewSymbolic(cfg Config, symbolCap int) *Symbolic {
+	s, err := NewSymbolic(cfg, symbolCap)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the MISR configuration.
+func (s *Symbolic) Config() Config { return s.cfg }
+
+// NumSymbols returns the number of symbols allocated so far.
+func (s *Symbolic) NumSymbols() int { return len(s.labels) }
+
+// Cycles returns the number of clocks applied since the last reset.
+func (s *Symbolic) Cycles() int { return s.cycles }
+
+// NewSymbol allocates a fresh symbol with the given label and returns its id.
+func (s *Symbolic) NewSymbol(label string) int {
+	id := len(s.labels)
+	s.labels = append(s.labels, label)
+	if id >= s.capSymbols {
+		s.grow(2*s.capSymbols + 1)
+	}
+	return id
+}
+
+func (s *Symbolic) grow(newCap int) {
+	for i := range s.deps {
+		nv := gf2.NewVec(newCap)
+		s.deps[i].ForEach(func(b int) { nv.Set(b) })
+		s.deps[i] = nv
+	}
+	s.capSymbols = newCap
+}
+
+// step advances the symbolic state one clock with zero input.
+func (s *Symbolic) step() {
+	s.known = s.cfg.step(s.known)
+	m := s.cfg.Size
+	carry := s.deps[m-1]
+	next := make([]gf2.Vec, m)
+	next[0] = gf2.NewVec(s.capSymbols)
+	if s.cfg.Poly&1 != 0 {
+		next[0].Xor(carry)
+	}
+	for i := 1; i < m; i++ {
+		nv := s.deps[i-1].Clone()
+		if s.cfg.Poly>>uint(i)&1 != 0 {
+			nv.Xor(carry)
+		}
+		next[i] = nv
+	}
+	s.deps = next
+	s.cycles++
+}
+
+// Clock advances one cycle. inKnown is the packed word of known-input
+// contributions; inSyms maps each stage to a symbol id to inject, or -1.
+// A stage may receive both a known bit and a symbol (e.g. a compactor XOR
+// of a known chain and an X chain).
+func (s *Symbolic) Clock(inKnown uint64, inSyms []int) {
+	if inKnown&^s.cfg.mask() != 0 {
+		panic(fmt.Sprintf("misr: input %#x exceeds %d-bit MISR", inKnown, s.cfg.Size))
+	}
+	if inSyms != nil && len(inSyms) != s.cfg.Size {
+		panic(fmt.Sprintf("misr: symbol input width %d, want %d", len(inSyms), s.cfg.Size))
+	}
+	s.step()
+	s.known ^= inKnown
+	for i, sym := range inSyms {
+		if sym < 0 {
+			continue
+		}
+		if sym >= len(s.labels) {
+			panic(fmt.Sprintf("misr: unknown symbol id %d", sym))
+		}
+		s.deps[i].Flip(sym)
+	}
+}
+
+// ClockVector advances one cycle with a three-valued input vector; each X
+// input allocates a fresh symbol labeled by labelFn (or "X<n>" if nil).
+// It returns the symbol ids allocated this cycle (per stage, -1 if none).
+func (s *Symbolic) ClockVector(in logic.Vector, labelFn func(stage int) string) []int {
+	if len(in) != s.cfg.Size {
+		panic(fmt.Sprintf("misr: input width %d, want %d", len(in), s.cfg.Size))
+	}
+	var known uint64
+	syms := make([]int, s.cfg.Size)
+	for i := range syms {
+		syms[i] = -1
+	}
+	for i, v := range in {
+		switch v {
+		case logic.One:
+			known |= 1 << uint(i)
+		case logic.Zero:
+		case logic.X:
+			label := ""
+			if labelFn != nil {
+				label = labelFn(i)
+			}
+			if label == "" {
+				label = fmt.Sprintf("X%d", len(s.labels)+1)
+			}
+			syms[i] = s.NewSymbol(label)
+		}
+	}
+	s.Clock(known, syms)
+	return syms
+}
+
+// Known returns the known-input contribution to the signature.
+func (s *Symbolic) Known() uint64 { return s.known }
+
+// DependsOn reports whether signature bit i depends on symbol sym.
+func (s *Symbolic) DependsOn(i, sym int) bool { return s.deps[i].Get(sym) }
+
+// Matrix returns the m x numSymbols dependence matrix: row i has bit j set
+// iff signature bit i depends on symbol j. Rows are copies.
+func (s *Symbolic) Matrix() gf2.Mat {
+	n := len(s.labels)
+	m := gf2.NewMat(s.cfg.Size, n)
+	for i := range s.deps {
+		s.deps[i].ForEach(func(b int) {
+			if b < n {
+				m.Set(i, b)
+			}
+		})
+	}
+	return m
+}
+
+// MatrixOf returns the dependence matrix restricted to the given symbol ids
+// (columns in the given order). Used to isolate X symbols from O symbols.
+func (s *Symbolic) MatrixOf(symbols []int) gf2.Mat {
+	m := gf2.NewMat(s.cfg.Size, len(symbols))
+	for i := range s.deps {
+		for j, sym := range symbols {
+			if sym < len(s.labels) && s.deps[i].Get(sym) {
+				m.Set(i, j)
+			}
+		}
+	}
+	return m
+}
+
+// SymbolsByPrefix returns the ids of symbols whose label starts with the
+// prefix, in allocation order. Convenient for separating "X" from "O".
+func (s *Symbolic) SymbolsByPrefix(prefix string) []int {
+	var out []int
+	for id, l := range s.labels {
+		if strings.HasPrefix(l, prefix) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Label returns the label of symbol id.
+func (s *Symbolic) Label(id int) string { return s.labels[id] }
+
+// Equation renders signature bit i as a human-readable linear equation in
+// the style of the paper's Figure 2, e.g. "M2 = X1 + O2 + X2 + X3 + O9".
+// Symbols appear sorted by label; a nonzero known contribution appends "+ 1".
+func (s *Symbolic) Equation(i int) string {
+	var terms []string
+	s.deps[i].ForEach(func(b int) {
+		if b < len(s.labels) {
+			terms = append(terms, s.labels[b])
+		}
+	})
+	sort.Slice(terms, func(a, b int) bool { return symbolLess(terms[a], terms[b]) })
+	if s.known>>uint(i)&1 == 1 {
+		terms = append(terms, "1")
+	}
+	if len(terms) == 0 {
+		terms = []string{"0"}
+	}
+	return fmt.Sprintf("M%d = %s", i+1, strings.Join(terms, " + "))
+}
+
+// symbolLess orders labels like O3 < O12 and O-symbols before X-symbols of
+// the paper's convention by comparing (alpha prefix, numeric suffix).
+func symbolLess(a, b string) bool {
+	pa, na := splitLabel(a)
+	pb, nb := splitLabel(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitLabel(s string) (prefix string, num int) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	n := 0
+	for _, r := range s[i:] {
+		n = n*10 + int(r-'0')
+	}
+	return s[:i], n
+}
+
+// Combine returns the known parity and combined symbol dependence of the
+// GF(2) combination of signature bits selected by sel (length Size).
+func (s *Symbolic) Combine(sel gf2.Vec) (parity int, deps gf2.Vec) {
+	if sel.Len() != s.cfg.Size {
+		panic("misr: selection width mismatch")
+	}
+	deps = gf2.NewVec(s.capSymbols)
+	p := 0
+	sel.ForEach(func(i int) {
+		deps.Xor(s.deps[i])
+		p ^= int(s.known >> uint(i) & 1)
+	})
+	return p, deps
+}
+
+// Reset clears state, symbols and cycle count.
+func (s *Symbolic) Reset() {
+	s.known = 0
+	s.labels = s.labels[:0]
+	for i := range s.deps {
+		s.deps[i].Reset()
+	}
+	s.cycles = 0
+}
+
+// ResetSymbols forgets all symbol dependences and labels but keeps the known
+// part of the state; used at X-canceling session boundaries where extracted
+// X's are retired but the register keeps compacting.
+func (s *Symbolic) ResetSymbols() {
+	s.labels = s.labels[:0]
+	for i := range s.deps {
+		s.deps[i].Reset()
+	}
+}

@@ -1,0 +1,149 @@
+package misr
+
+import (
+	"strings"
+	"testing"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/logic"
+)
+
+func TestEquationOrderingAndKnownTerm(t *testing.T) {
+	s := MustNewSymbolic(MustStandard(4), 8)
+	// Allocate labels out of order; Equation must sort them numerically
+	// within a prefix (O3 < O12) and put the known "1" last.
+	o12 := s.NewSymbol("O12")
+	o3 := s.NewSymbol("O3")
+	x1 := s.NewSymbol("X1")
+	s.Clock(0b0001, []int{-1, -1, -1, -1}) // known contribution on bit 0... shifted by clock
+	// Directly inject dependences into bit 2 via Clock with symbols.
+	s.Clock(0, []int{-1, -1, o12, -1})
+	s.Clock(0, []int{-1, -1, o3, -1})
+	s.Clock(0, []int{-1, -1, x1, -1})
+	eq := s.Equation(2)
+	if !strings.HasPrefix(eq, "M3 = ") {
+		t.Fatalf("Equation = %q", eq)
+	}
+	// After the three injection clocks the bit-2 deps include symbols from
+	// shifted positions too; just verify ordering of whatever appears.
+	idxO3 := strings.Index(eq, "O3")
+	idxO12 := strings.Index(eq, "O12")
+	if idxO3 >= 0 && idxO12 >= 0 && idxO12 < idxO3 {
+		t.Fatalf("numeric suffix ordering broken: %q", eq)
+	}
+}
+
+func TestClockPanicsOnBadSymbol(t *testing.T) {
+	s := MustNewSymbolic(MustStandard(4), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown symbol id")
+		}
+	}()
+	s.Clock(0, []int{5, -1, -1, -1})
+}
+
+func TestClockPanicsOnWideInput(t *testing.T) {
+	s := MustNewSymbolic(MustStandard(4), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wide known input")
+		}
+	}()
+	s.Clock(0x10, nil)
+}
+
+func TestClockPanicsOnBadSymbolWidth(t *testing.T) {
+	s := MustNewSymbolic(MustStandard(4), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong symbol vector width")
+		}
+	}()
+	s.Clock(0, []int{-1})
+}
+
+func TestClockVectorPanicsOnWidth(t *testing.T) {
+	s := MustNewSymbolic(MustStandard(4), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong vector width")
+		}
+	}()
+	s.ClockVector(make(logic.Vector, 3), nil)
+}
+
+func TestCombinePanicsOnWidth(t *testing.T) {
+	s := MustNewSymbolic(MustStandard(4), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on selection width")
+		}
+	}()
+	s.Combine(gf2.NewVec(3))
+}
+
+func TestDependsOn(t *testing.T) {
+	s := MustNewSymbolic(MustStandard(4), 4)
+	id := s.NewSymbol("X1")
+	s.Clock(0, []int{id, -1, -1, -1})
+	if !s.DependsOn(0, id) {
+		t.Fatal("DependsOn missed direct injection")
+	}
+	if s.DependsOn(3, id) {
+		t.Fatal("DependsOn spurious")
+	}
+	if s.Cycles() != 1 {
+		t.Fatalf("Cycles = %d", s.Cycles())
+	}
+}
+
+func TestNewSymbolicDefaultsAndErrors(t *testing.T) {
+	if _, err := NewSymbolic(Config{Size: 4, Poly: 0x2}, 4); err == nil {
+		t.Fatal("accepted singular polynomial")
+	}
+	s, err := NewSymbolic(MustStandard(4), 0) // cap defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		s.NewSymbol("X")
+	}
+	if s.NumSymbols() != 40 {
+		t.Fatal("growth with default cap failed")
+	}
+}
+
+func TestMustNewSymbolicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewSymbolic(Config{Size: 99}, 4)
+}
+
+func TestSignatureHelperError(t *testing.T) {
+	if _, err := Signature(Config{Size: 0}, nil); err == nil {
+		t.Fatal("Signature accepted invalid config")
+	}
+	sig, err := Signature(MustStandard(8), []uint64{1, 2, 3})
+	if err != nil || sig == 0 {
+		t.Fatalf("Signature = %x, %v", sig, err)
+	}
+}
+
+func TestClockVectorErrorPaths(t *testing.T) {
+	m := MustNew(MustStandard(4))
+	if err := m.ClockVector(make(logic.Vector, 3)); err == nil {
+		t.Fatal("accepted wrong width")
+	}
+	bad := logic.Vector{logic.X, logic.Zero, logic.Zero, logic.Zero}
+	if err := m.ClockVector(bad); err == nil {
+		t.Fatal("concrete MISR accepted X input")
+	}
+	good := logic.Vector{logic.One, logic.Zero, logic.One, logic.Zero}
+	if err := m.ClockVector(good); err != nil {
+		t.Fatal(err)
+	}
+}

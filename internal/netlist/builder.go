@@ -1,0 +1,107 @@
+package netlist
+
+import "fmt"
+
+// Builder constructs circuits incrementally. Methods return node ids that
+// later gates reference as fanins. Call Build to validate and finalize.
+type Builder struct {
+	c   Circuit
+	err error
+}
+
+// NewBuilder starts an empty circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: Circuit{Name: name}}
+}
+
+// add appends a node and returns its id.
+func (b *Builder) add(g Gate) int {
+	b.c.Gates = append(b.c.Gates, g)
+	return len(b.c.Gates) - 1
+}
+
+// Input declares a primary input.
+func (b *Builder) Input(name string) int {
+	id := b.add(Gate{Type: Input, Name: name})
+	b.c.PIs = append(b.c.PIs, id)
+	return id
+}
+
+// Gate adds a combinational gate.
+func (b *Builder) Gate(t GateType, fanin ...int) int {
+	switch t {
+	case Input, DFF, NonScanDFF:
+		if b.err == nil {
+			b.err = fmt.Errorf("netlist: use the dedicated Builder method for %v", t)
+		}
+	}
+	return b.add(Gate{Type: t, Fanin: fanin})
+}
+
+// Named adds a combinational gate with a label.
+func (b *Builder) Named(name string, t GateType, fanin ...int) int {
+	id := b.Gate(t, fanin...)
+	b.c.Gates[id].Name = name
+	return id
+}
+
+// ScanDFF adds a scan flip-flop with data input d, appended to the scan
+// order; its id is both its output and its scan-cell position source.
+func (b *Builder) ScanDFF(d int) int {
+	id := b.add(Gate{Type: DFF, Fanin: []int{d}})
+	b.c.ScanCells = append(b.c.ScanCells, id)
+	return id
+}
+
+// NonScanDFF adds an uninitialized (X-source) storage element.
+func (b *Builder) NonScanDFF(d int) int {
+	id := b.add(Gate{Type: NonScanDFF, Fanin: []int{d}})
+	b.c.NonScan = append(b.c.NonScan, id)
+	return id
+}
+
+// ScanDFFDeferred adds a scan flip-flop whose data input is patched later
+// with SetFanin — the usual way to close sequential loops where the flop's
+// output feeds the logic cone that computes its next state.
+func (b *Builder) ScanDFFDeferred() int {
+	id := b.add(Gate{Type: DFF})
+	b.c.ScanCells = append(b.c.ScanCells, id)
+	return id
+}
+
+// SetFanin replaces the fanin list of an existing node.
+func (b *Builder) SetFanin(id int, fanin ...int) {
+	if id < 0 || id >= len(b.c.Gates) {
+		if b.err == nil {
+			b.err = fmt.Errorf("netlist: SetFanin on invalid node %d", id)
+		}
+		return
+	}
+	b.c.Gates[id].Fanin = fanin
+}
+
+// PO marks a node as a primary output.
+func (b *Builder) PO(id int) {
+	b.c.POs = append(b.c.POs, id)
+}
+
+// Build validates, finalizes and returns the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	c := b.c
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// MustBuild is Build that panics on error; for tests and fixtures.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

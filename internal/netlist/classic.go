@@ -1,0 +1,59 @@
+package netlist
+
+// Classic benchmark circuits, hand-translated from the ISCAS'85/'89
+// distributions. They serve as known-good fixtures for the simulator and
+// fault machinery, and as familiar anchors for anyone comparing this
+// substrate against published DFT results.
+
+// C17 returns the ISCAS'85 c17 benchmark: 5 inputs, 6 NAND gates, and the
+// two classic outputs N22 and N23 (exposed both as primary outputs and
+// captured into two scan cells so the scan flow can exercise it).
+func C17() (*Circuit, error) {
+	b := NewBuilder("c17")
+	n1 := b.Input("N1")
+	n2 := b.Input("N2")
+	n3 := b.Input("N3")
+	n6 := b.Input("N6")
+	n7 := b.Input("N7")
+	g10 := b.Named("N10", Nand, n1, n3)
+	g11 := b.Named("N11", Nand, n3, n6)
+	g16 := b.Named("N16", Nand, n2, g11)
+	g19 := b.Named("N19", Nand, g11, n7)
+	g22 := b.Named("N22", Nand, g10, g16)
+	g23 := b.Named("N23", Nand, g16, g19)
+	b.PO(g22)
+	b.PO(g23)
+	b.ScanDFF(g22)
+	b.ScanDFF(g23)
+	return b.Build()
+}
+
+// S27 returns the ISCAS'89 s27 benchmark: 4 inputs, 1 output, 3 flip-flops
+// and 10 gates. The flip-flops are modeled as scan cells (the standard
+// full-scan version of the design).
+func S27() (*Circuit, error) {
+	b := NewBuilder("s27")
+	g0 := b.Input("G0")
+	g1 := b.Input("G1")
+	g2 := b.Input("G2")
+	g3 := b.Input("G3")
+	// State elements (scan flops); data inputs patched below.
+	g5 := b.ScanDFFDeferred() // G5 <- G10
+	g6 := b.ScanDFFDeferred() // G6 <- G11
+	g7 := b.ScanDFFDeferred() // G7 <- G13
+	g14 := b.Named("G14", Not, g0)
+	g8 := b.Named("G8", And, g14, g6)
+	g12 := b.Named("G12", Nor, g1, g7)
+	g15 := b.Named("G15", Or, g12, g8)
+	g16 := b.Named("G16", Or, g3, g8)
+	g9 := b.Named("G9", Nand, g16, g15)
+	g11 := b.Named("G11", Nor, g5, g9)
+	g10 := b.Named("G10", Nor, g14, g11)
+	g13 := b.Named("G13", Nand, g2, g12)
+	g17 := b.Named("G17", Not, g11)
+	b.SetFanin(g5, g10)
+	b.SetFanin(g6, g11)
+	b.SetFanin(g7, g13)
+	b.PO(g17)
+	return b.Build()
+}

@@ -1,0 +1,41 @@
+package netlist
+
+import "testing"
+
+func TestC17Structure(t *testing.T) {
+	c, err := C17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.PIs != 5 || st.POs != 2 || st.ScanCells != 2 {
+		t.Fatalf("c17 stats = %+v", st)
+	}
+	nands := 0
+	for _, g := range c.Gates {
+		if g.Type == Nand {
+			nands++
+		}
+	}
+	if nands != 6 {
+		t.Fatalf("c17 has %d NANDs, want 6", nands)
+	}
+	if c.Depth() != 3 {
+		t.Fatalf("c17 depth = %d, want 3", c.Depth())
+	}
+}
+
+func TestS27Structure(t *testing.T) {
+	c, err := S27()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.PIs != 4 || st.POs != 1 || st.ScanCells != 3 {
+		t.Fatalf("s27 stats = %+v", st)
+	}
+	// 10 combinational gates + 4 inputs + 3 flops = 17 nodes.
+	if c.NumGates() != 17 {
+		t.Fatalf("s27 has %d nodes, want 17", c.NumGates())
+	}
+}

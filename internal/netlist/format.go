@@ -1,0 +1,74 @@
+package netlist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGate is the serialized form of a node.
+type jsonGate struct {
+	T    string `json:"t"`
+	In   []int  `json:"in,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+// jsonCircuit is the serialized form of a circuit.
+type jsonCircuit struct {
+	Name    string     `json:"name"`
+	Gates   []jsonGate `json:"gates"`
+	PIs     []int      `json:"pis,omitempty"`
+	POs     []int      `json:"pos,omitempty"`
+	Scan    []int      `json:"scan,omitempty"`
+	NonScan []int      `json:"nonscan,omitempty"`
+}
+
+var nameToType = func() map[string]GateType {
+	m := make(map[string]GateType, len(gateNames))
+	for t, n := range gateNames {
+		m[n] = t
+	}
+	return m
+}()
+
+// WriteJSON serializes the circuit.
+func (c *Circuit) WriteJSON(w io.Writer) error {
+	jc := jsonCircuit{
+		Name:    c.Name,
+		PIs:     c.PIs,
+		POs:     c.POs,
+		Scan:    c.ScanCells,
+		NonScan: c.NonScan,
+	}
+	for _, g := range c.Gates {
+		jc.Gates = append(jc.Gates, jsonGate{T: g.Type.String(), In: g.Fanin, Name: g.Name})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jc)
+}
+
+// ReadJSON parses, validates and finalizes a serialized circuit.
+func ReadJSON(r io.Reader) (*Circuit, error) {
+	var jc jsonCircuit
+	if err := json.NewDecoder(r).Decode(&jc); err != nil {
+		return nil, fmt.Errorf("netlist: decode: %w", err)
+	}
+	c := &Circuit{
+		Name:      jc.Name,
+		PIs:       jc.PIs,
+		POs:       jc.POs,
+		ScanCells: jc.Scan,
+		NonScan:   jc.NonScan,
+	}
+	for i, g := range jc.Gates {
+		t, ok := nameToType[g.T]
+		if !ok {
+			return nil, fmt.Errorf("netlist: gate %d has unknown type %q", i, g.T)
+		}
+		c.Gates = append(c.Gates, Gate{Type: t, Fanin: g.In, Name: g.Name})
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,95 @@
+// Package report renders plain-text tables for the experiment harness,
+// mirroring the layout of the paper's Table 1.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	// Title is printed above the table.
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; missing cells render empty, extra cells are dropped.
+func (t *Table) Row(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Fprint writes the rendered table.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Fprint(&sb); err != nil {
+		return err.Error()
+	}
+	return sb.String()
+}
+
+// Mega formats a bit count in millions like the paper ("12.22M").
+func Mega(bits int) string {
+	return fmt.Sprintf("%.2fM", float64(bits)/1e6)
+}
+
+// Ratio formats an improvement factor ("2.17").
+func Ratio(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// Percent formats a fraction as a percentage ("2.75%").
+func Percent(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("Title", "A", "BBBB", "C")
+	tab.Row("1", "2")
+	tab.Row("longer", "x", "y", "dropped")
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header A at same offset as "1" and "longer"... verify
+	// header line and row line have the BBBB column starting at the same
+	// index.
+	hdr := lines[1]
+	row := lines[4]
+	hIdx := strings.Index(hdr, "BBBB")
+	rIdx := strings.Index(row, "x")
+	if hIdx != rIdx {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", hIdx, rIdx, out)
+	}
+	if strings.Contains(out, "dropped") {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestEmptyTitle(t *testing.T) {
+	tab := New("", "X")
+	tab.Row("1")
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Fatal("leading blank line with empty title")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Mega(12220000) != "12.22M" {
+		t.Fatalf("Mega = %q", Mega(12220000))
+	}
+	if Ratio(2.168) != "2.17" {
+		t.Fatalf("Ratio = %q", Ratio(2.168))
+	}
+	if Percent(0.0275) != "2.75%" {
+		t.Fatalf("Percent = %q", Percent(0.0275))
+	}
+}

@@ -1,0 +1,162 @@
+// Package scan models the scan architecture of a design under test: the
+// geometry of scan chains (number of chains and cells per chain), the
+// mapping between flat cell indices and (chain, position) coordinates, and
+// captured output responses.
+//
+// Conventions: cells are indexed chain-major, cell = chain*ChainLen + pos.
+// During unload, position 0 of every chain exits first, so shift cycle t
+// presents the slice {(chain, t) : chain = 0..Chains-1} to the compactor.
+package scan
+
+import (
+	"fmt"
+
+	"xhybrid/internal/logic"
+)
+
+// Geometry describes a scan architecture with equal-length chains, as
+// assumed by the paper's control-bit accounting (the "longest scan chain
+// length" times "number of scan chains" product).
+type Geometry struct {
+	// Chains is the number of parallel scan chains (MISR inputs).
+	Chains int
+	// ChainLen is the number of scan cells per chain.
+	ChainLen int
+}
+
+// NewGeometry returns a validated geometry.
+func NewGeometry(chains, chainLen int) (Geometry, error) {
+	g := Geometry{Chains: chains, ChainLen: chainLen}
+	if err := g.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	return g, nil
+}
+
+// MustGeometry is NewGeometry that panics on error; for tests and fixtures.
+func MustGeometry(chains, chainLen int) Geometry {
+	g, err := NewGeometry(chains, chainLen)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Validate checks that the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Chains <= 0 {
+		return fmt.Errorf("scan: non-positive chain count %d", g.Chains)
+	}
+	if g.ChainLen <= 0 {
+		return fmt.Errorf("scan: non-positive chain length %d", g.ChainLen)
+	}
+	return nil
+}
+
+// Cells returns the total number of scan cells.
+func (g Geometry) Cells() int { return g.Chains * g.ChainLen }
+
+// CellIndex returns the flat index of the cell at (chain, pos).
+func (g Geometry) CellIndex(chain, pos int) int {
+	if chain < 0 || chain >= g.Chains || pos < 0 || pos >= g.ChainLen {
+		panic(fmt.Sprintf("scan: cell (%d,%d) out of %dx%d geometry", chain, pos, g.Chains, g.ChainLen))
+	}
+	return chain*g.ChainLen + pos
+}
+
+// CellCoord returns the (chain, pos) coordinates of a flat cell index.
+func (g Geometry) CellCoord(cell int) (chain, pos int) {
+	if cell < 0 || cell >= g.Cells() {
+		panic(fmt.Sprintf("scan: cell %d out of range [0,%d)", cell, g.Cells()))
+	}
+	return cell / g.ChainLen, cell % g.ChainLen
+}
+
+// String renders the geometry as "chains x chainLen".
+func (g Geometry) String() string {
+	return fmt.Sprintf("%d chains x %d cells", g.Chains, g.ChainLen)
+}
+
+// Response is the captured output response of one test pattern: one
+// three-valued logic value per scan cell, addressed via the geometry.
+type Response struct {
+	Geom   Geometry
+	Values logic.Vector
+}
+
+// NewResponse returns an all-X response for the geometry.
+func NewResponse(g Geometry) Response {
+	return Response{Geom: g, Values: logic.NewVector(g.Cells())}
+}
+
+// At returns the value captured in cell (chain, pos).
+func (r Response) At(chain, pos int) logic.V {
+	return r.Values[r.Geom.CellIndex(chain, pos)]
+}
+
+// Set stores v in cell (chain, pos).
+func (r Response) Set(chain, pos int, v logic.V) {
+	r.Values[r.Geom.CellIndex(chain, pos)] = v
+}
+
+// Slice returns the values presented to the compactor at shift cycle t:
+// one value per chain, from position t of each chain.
+func (r Response) Slice(t int) logic.Vector {
+	out := make(logic.Vector, r.Geom.Chains)
+	for c := 0; c < r.Geom.Chains; c++ {
+		out[c] = r.Values[r.Geom.CellIndex(c, t)]
+	}
+	return out
+}
+
+// CountX returns the number of X values in the response.
+func (r Response) CountX() int { return r.Values.CountX() }
+
+// Clone returns a deep copy.
+func (r Response) Clone() Response {
+	return Response{Geom: r.Geom, Values: r.Values.Clone()}
+}
+
+// ResponseSet is the full set of captured responses for a pattern set.
+type ResponseSet struct {
+	Geom      Geometry
+	Responses []Response
+}
+
+// NewResponseSet allocates an empty response set.
+func NewResponseSet(g Geometry) *ResponseSet {
+	return &ResponseSet{Geom: g}
+}
+
+// Append adds a response, validating its geometry.
+func (s *ResponseSet) Append(r Response) error {
+	if r.Geom != s.Geom {
+		return fmt.Errorf("scan: response geometry %v does not match set %v", r.Geom, s.Geom)
+	}
+	if len(r.Values) != s.Geom.Cells() {
+		return fmt.Errorf("scan: response has %d values, want %d", len(r.Values), s.Geom.Cells())
+	}
+	s.Responses = append(s.Responses, r)
+	return nil
+}
+
+// Patterns returns the number of responses in the set.
+func (s *ResponseSet) Patterns() int { return len(s.Responses) }
+
+// TotalX returns the total number of X values across all responses.
+func (s *ResponseSet) TotalX() int {
+	n := 0
+	for _, r := range s.Responses {
+		n += r.CountX()
+	}
+	return n
+}
+
+// XDensity returns the fraction of response bits that are X.
+func (s *ResponseSet) XDensity() float64 {
+	total := s.Geom.Cells() * len(s.Responses)
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TotalX()) / float64(total)
+}

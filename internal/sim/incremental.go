@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+// Incremental is an event-driven simulator: after a full evaluation of one
+// pattern, injecting (and removing) a stuck-at fault re-evaluates only the
+// fault's fanout cone in level order — the standard serial-fault-simulation
+// speedup, since a single fault typically reaches a small fraction of the
+// netlist.
+type Incremental struct {
+	c      *netlist.Circuit
+	vals   []logic.V
+	fanout [][]int
+	// buckets[level] holds nodes queued for re-evaluation.
+	buckets [][]int
+	inQueue []bool
+	loaded  bool
+}
+
+// NewIncremental returns an event-driven simulator for the circuit.
+func NewIncremental(c *netlist.Circuit) *Incremental {
+	s := &Incremental{
+		c:       c,
+		vals:    make([]logic.V, c.NumGates()),
+		fanout:  make([][]int, c.NumGates()),
+		inQueue: make([]bool, c.NumGates()),
+	}
+	for id, g := range c.Gates {
+		if g.Type.IsState() {
+			continue // state elements read their fanin only at capture
+		}
+		for _, f := range g.Fanin {
+			s.fanout[f] = append(s.fanout[f], id)
+		}
+	}
+	s.buckets = make([][]int, c.Depth()+1)
+	return s
+}
+
+// Load fully evaluates one pattern's combinational values (fault-free).
+func (s *Incremental) Load(load, pis logic.Vector) error {
+	c := s.c
+	if len(load) != len(c.ScanCells) {
+		return fmt.Errorf("sim: load width %d, want %d", len(load), len(c.ScanCells))
+	}
+	if len(pis) != len(c.PIs) {
+		return fmt.Errorf("sim: pi width %d, want %d", len(pis), len(c.PIs))
+	}
+	for i, id := range c.PIs {
+		s.vals[id] = pis[i]
+	}
+	for i, id := range c.ScanCells {
+		s.vals[id] = load[i]
+	}
+	for _, id := range c.NonScan {
+		s.vals[id] = logic.X
+	}
+	for id, g := range c.Gates {
+		switch g.Type {
+		case netlist.Tie0:
+			s.vals[id] = logic.Zero
+		case netlist.Tie1:
+			s.vals[id] = logic.One
+		case netlist.TieX:
+			s.vals[id] = logic.X
+		}
+	}
+	for _, id := range c.EvalOrder() {
+		s.vals[id] = evalGate(c.Gates[id], s.vals)
+	}
+	s.loaded = true
+	return nil
+}
+
+// propagateReaders re-evaluates the fanout cone of node seed in level order
+// after seed's value changed; seed itself is left alone (its value is set
+// by the caller, e.g. a fault overlay).
+func (s *Incremental) propagateReaders(seed int) {
+	push := func(id int) {
+		if !s.inQueue[id] {
+			s.inQueue[id] = true
+			lvl := s.c.Level(id)
+			s.buckets[lvl] = append(s.buckets[lvl], id)
+		}
+	}
+	for _, reader := range s.fanout[seed] {
+		push(reader)
+	}
+	for lvl := range s.buckets {
+		for k := 0; k < len(s.buckets[lvl]); k++ {
+			id := s.buckets[lvl][k]
+			s.inQueue[id] = false
+			nv := evalGate(s.c.Gates[id], s.vals)
+			if nv == s.vals[id] {
+				continue
+			}
+			s.vals[id] = nv
+			for _, reader := range s.fanout[id] {
+				push(reader)
+			}
+		}
+		s.buckets[lvl] = s.buckets[lvl][:0]
+	}
+}
+
+// WithFault injects a stuck-at fault, returns the captured scan response
+// and PO values under it, and restores the fault-free state. Load must have
+// been called for the current pattern.
+func (s *Incremental) WithFault(f Fault) (capture, pos logic.Vector, err error) {
+	if !s.loaded {
+		return nil, nil, fmt.Errorf("sim: WithFault before Load")
+	}
+	if f.Node < 0 || f.Node >= s.c.NumGates() {
+		return nil, nil, fmt.Errorf("sim: fault node %d out of range", f.Node)
+	}
+	orig := s.vals[f.Node]
+	if orig != f.StuckAt {
+		s.vals[f.Node] = f.StuckAt
+		s.propagateReaders(f.Node)
+	}
+	capture = make(logic.Vector, len(s.c.ScanCells))
+	for i, id := range s.c.ScanCells {
+		capture[i] = s.vals[s.c.Gates[id].Fanin[0]]
+	}
+	pos = make(logic.Vector, len(s.c.POs))
+	for i, id := range s.c.POs {
+		pos[i] = s.vals[id]
+	}
+	if orig != f.StuckAt {
+		s.vals[f.Node] = orig
+		s.propagateReaders(f.Node)
+	}
+	return capture, pos, nil
+}
+
+// Capture returns the fault-free captured response and PO values.
+func (s *Incremental) Capture() (capture, pos logic.Vector, err error) {
+	if !s.loaded {
+		return nil, nil, fmt.Errorf("sim: Capture before Load")
+	}
+	capture = make(logic.Vector, len(s.c.ScanCells))
+	for i, id := range s.c.ScanCells {
+		capture[i] = s.vals[s.c.Gates[id].Fanin[0]]
+	}
+	pos = make(logic.Vector, len(s.c.POs))
+	for i, id := range s.c.POs {
+		pos[i] = s.vals[id]
+	}
+	return capture, pos, nil
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+// The event-driven simulator must agree with the full simulator for every
+// (pattern, fault) pair, including the restore path (repeated faults on the
+// same loaded pattern).
+func TestIncrementalMatchesFull(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		c, err := netlist.Generate(netlist.GenConfig{
+			Name: "inc", ScanCells: 48, PIs: 6, XClusters: 3, XFanout: 4, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := New(c)
+		inc := NewIncremental(c)
+		r := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 8; trial++ {
+			load := randomVec(r, len(c.ScanCells), 0.05)
+			pis := randomVec(r, len(c.PIs), 0.05)
+			if err := inc.Load(load, pis); err != nil {
+				t.Fatal(err)
+			}
+			// Fault-free agreement.
+			wantCap, wantPos, err := full.Capture(load, pis, NoFault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotCap, gotPos, err := inc.Capture()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gotCap.Equal(wantCap) || !gotPos.Equal(wantPos) {
+				t.Fatalf("seed %d trial %d: fault-free mismatch", seed, trial)
+			}
+			// Several faults against the same loaded pattern.
+			for ftrial := 0; ftrial < 12; ftrial++ {
+				node := r.Intn(c.NumGates())
+				switch c.Gates[node].Type {
+				case netlist.DFF, netlist.NonScanDFF, netlist.Tie0, netlist.Tie1, netlist.TieX:
+					continue
+				}
+				f := Fault{Node: node, StuckAt: logic.FromBit(r.Intn(2))}
+				wc, wp, err := full.Capture(load, pis, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gc, gp, err := inc.WithFault(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !gc.Equal(wc) || !gp.Equal(wp) {
+					t.Fatalf("seed %d fault %v: mismatch", seed, f)
+				}
+				// The restore path must leave the fault-free state intact.
+				rc, _, err := inc.Capture()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rc.Equal(wantCap) {
+					t.Fatalf("seed %d fault %v: restore corrupted state", seed, f)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	c, err := netlist.Generate(netlist.GenConfig{Name: "v", ScanCells: 8, PIs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncremental(c)
+	if _, _, err := inc.Capture(); err == nil {
+		t.Fatal("Capture before Load accepted")
+	}
+	if _, _, err := inc.WithFault(Fault{Node: 0}); err == nil {
+		t.Fatal("WithFault before Load accepted")
+	}
+	load := randomVec(rand.New(rand.NewSource(1)), 8, 0)
+	pis := randomVec(rand.New(rand.NewSource(2)), 2, 0)
+	if err := inc.Load(randomVec(rand.New(rand.NewSource(1)), 3, 0), pis); err == nil {
+		t.Fatal("bad load width accepted")
+	}
+	if err := inc.Load(load, pis); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := inc.WithFault(Fault{Node: 9999}); err == nil {
+		t.Fatal("out-of-range fault accepted")
+	}
+}

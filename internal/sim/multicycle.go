@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+// CaptureN runs a multi-cycle capture: the scan cells are loaded once, then
+// the circuit is clocked cycles times functionally. Non-scan storage
+// elements power up at X but *carry state across cycles*, so logic can
+// initialize them and the captured X-density typically falls as the capture
+// window grows — the single-capture test (Capture) is the X-pessimistic
+// worst case the paper's architecture is sized for.
+//
+// pis supplies the primary-input vector per cycle; a single vector is
+// replicated across all cycles. The returned response is the scan-cell
+// state after the last cycle.
+func (s *Simulator) CaptureN(load logic.Vector, pis []logic.Vector, cycles int, fault Fault) (capture, pos logic.Vector, err error) {
+	c := s.c
+	if cycles < 1 {
+		return nil, nil, fmt.Errorf("sim: need at least one capture cycle")
+	}
+	if len(load) != len(c.ScanCells) {
+		return nil, nil, fmt.Errorf("sim: load width %d, want %d scan cells", len(load), len(c.ScanCells))
+	}
+	if len(pis) == 0 {
+		return nil, nil, fmt.Errorf("sim: no primary-input vectors")
+	}
+	for k, v := range pis {
+		if len(v) != len(c.PIs) {
+			return nil, nil, fmt.Errorf("sim: pi vector %d has width %d, want %d", k, len(v), len(c.PIs))
+		}
+	}
+	piAt := func(k int) logic.Vector {
+		if len(pis) == 1 {
+			return pis[0]
+		}
+		if k < len(pis) {
+			return pis[k]
+		}
+		return pis[len(pis)-1]
+	}
+
+	scanState := load.Clone()
+	nonScanState := logic.NewVector(len(c.NonScan)) // all X at power-up
+	for cyc := 0; cyc < cycles; cyc++ {
+		pi := piAt(cyc)
+		for i, id := range c.PIs {
+			s.vals[id] = s.forced(id, pi[i], fault)
+		}
+		for i, id := range c.ScanCells {
+			s.vals[id] = s.forced(id, scanState[i], fault)
+		}
+		for i, id := range c.NonScan {
+			s.vals[id] = s.forced(id, nonScanState[i], fault)
+		}
+		for id, g := range c.Gates {
+			switch g.Type {
+			case netlist.Tie0:
+				s.vals[id] = s.forced(id, logic.Zero, fault)
+			case netlist.Tie1:
+				s.vals[id] = s.forced(id, logic.One, fault)
+			case netlist.TieX:
+				s.vals[id] = s.forced(id, logic.X, fault)
+			}
+		}
+		for _, id := range c.EvalOrder() {
+			s.vals[id] = s.forced(id, evalGate(c.Gates[id], s.vals), fault)
+		}
+		for i, id := range c.ScanCells {
+			scanState[i] = s.vals[c.Gates[id].Fanin[0]]
+		}
+		for i, id := range c.NonScan {
+			nonScanState[i] = s.vals[c.Gates[id].Fanin[0]]
+		}
+	}
+	pos = make(logic.Vector, len(c.POs))
+	for i, id := range c.POs {
+		pos[i] = s.vals[id]
+	}
+	return scanState, pos, nil
+}

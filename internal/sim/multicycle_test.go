@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+// One capture cycle must agree with Capture exactly: the first functional
+// cycle sees all non-scan elements at X in both paths.
+func TestCaptureNOneCycleMatchesCapture(t *testing.T) {
+	c, err := netlist.Generate(netlist.GenConfig{
+		Name: "mc", ScanCells: 40, PIs: 5, XClusters: 3, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(c)
+	s2 := New(c)
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		load := randomVec(r, len(c.ScanCells), 0)
+		pis := randomVec(r, len(c.PIs), 0)
+		a, _, err := s1.Capture(load, pis, NoFault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := s2.CaptureN(load, []logic.Vector{pis}, 1, NoFault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: Capture %v != CaptureN(1) %v", trial, a, b)
+		}
+	}
+}
+
+// A non-scan element fed from known logic initializes after one cycle: the
+// second capture cycle sees no X from it.
+func TestXWashesOutAfterInitialization(t *testing.T) {
+	b := netlist.NewBuilder("wash")
+	pi := b.Input("pi")
+	ns := b.NonScanDFF(pi)           // next state = pi (known)
+	g := b.Gate(netlist.Xor, ns, pi) // X on cycle 1, known from cycle 2
+	b.ScanDFF(g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	load := logic.Vector{logic.Zero}
+	pis := []logic.Vector{{logic.One}}
+	cap1, _, err := s.CaptureN(load, pis, 1, NoFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap1[0] != logic.X {
+		t.Fatalf("cycle-1 capture = %v, want X (uninitialized)", cap1[0])
+	}
+	cap2, _, err := s.CaptureN(load, pis, 2, NoFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After cycle 1 the element holds pi=1; cycle 2 captures 1 XOR 1 = 0.
+	if cap2[0] != logic.Zero {
+		t.Fatalf("cycle-2 capture = %v, want 0 (X washed out)", cap2[0])
+	}
+}
+
+// Multi-cycle capture on generated circuits: X's captured into scan cells
+// in cycle 1 recirculate through the logic in later cycles, so — without a
+// reset network — the X count can grow with the capture window even though
+// the uninitialized elements themselves initialize after one cycle. The
+// test pins the mechanism: the non-scan elements' direct contribution
+// disappears (wash-out, checked above), deterministic behavior holds, and
+// the recirculated count is reproducible.
+func TestMultiCycleXRecirculation(t *testing.T) {
+	c, err := netlist.Generate(netlist.GenConfig{
+		Name: "trend", ScanCells: 96, PIs: 8, XClusters: 6, XFanout: 5, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	s2 := New(c)
+	r := rand.New(rand.NewSource(5))
+	x1, x4 := 0, 0
+	for p := 0; p < 40; p++ {
+		load := randomVec(r, len(c.ScanCells), 0)
+		pis := randomVec(r, len(c.PIs), 0)
+		a, _, err := s.CaptureN(load, []logic.Vector{pis}, 1, NoFault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := s.CaptureN(load, []logic.Vector{pis}, 4, NoFault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, _, err := s2.CaptureN(load, []logic.Vector{pis}, 4, NoFault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.Equal(b2) {
+			t.Fatal("multi-cycle capture not deterministic")
+		}
+		x1 += a.CountX()
+		x4 += b.CountX()
+	}
+	if x1 == 0 {
+		t.Fatal("no X's at single capture")
+	}
+	if x4 == 0 {
+		t.Fatal("recirculation produced no X's at all")
+	}
+}
+
+func TestCaptureNPerCyclePIs(t *testing.T) {
+	// Scan cell captures the PI directly; with per-cycle PIs the final
+	// capture must reflect the last cycle's value.
+	b := netlist.NewBuilder("seq")
+	pi := b.Input("pi")
+	buf := b.Gate(netlist.Buf, pi)
+	b.ScanDFF(buf)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	cap, _, err := s.CaptureN(logic.Vector{logic.Zero},
+		[]logic.Vector{{logic.One}, {logic.Zero}, {logic.One}}, 3, NoFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap[0] != logic.One {
+		t.Fatalf("capture = %v, want last cycle's PI", cap[0])
+	}
+	// Fewer PI vectors than cycles: last one repeats.
+	cap, _, err = s.CaptureN(logic.Vector{logic.Zero},
+		[]logic.Vector{{logic.Zero}, {logic.One}}, 4, NoFault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap[0] != logic.One {
+		t.Fatalf("capture = %v, want repeated last PI", cap[0])
+	}
+}
+
+func TestCaptureNValidation(t *testing.T) {
+	c, err := netlist.Generate(netlist.GenConfig{Name: "v", ScanCells: 8, PIs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	good := logic.NewVector(8)
+	if _, _, err := s.CaptureN(good, []logic.Vector{logic.NewVector(2)}, 0, NoFault); err == nil {
+		t.Fatal("accepted zero cycles")
+	}
+	if _, _, err := s.CaptureN(logic.NewVector(3), []logic.Vector{logic.NewVector(2)}, 1, NoFault); err == nil {
+		t.Fatal("accepted bad load width")
+	}
+	if _, _, err := s.CaptureN(good, nil, 1, NoFault); err == nil {
+		t.Fatal("accepted empty pi list")
+	}
+	if _, _, err := s.CaptureN(good, []logic.Vector{logic.NewVector(1)}, 1, NoFault); err == nil {
+		t.Fatal("accepted bad pi width")
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+// pval is a 64-way parallel three-valued word: bit k of one is set when
+// pattern k's value is 1; bit k of x when it is X. one and x are disjoint.
+type pval struct {
+	one, x uint64
+}
+
+func (v pval) zero() uint64 { return ^(v.one | v.x) }
+
+func pnot(a pval) pval { return pval{one: a.zero(), x: a.x} }
+
+func pand(a, b pval) pval {
+	one := a.one & b.one
+	x := (a.x | b.x) &^ (a.zero() | b.zero())
+	return pval{one: one, x: x}
+}
+
+func por(a, b pval) pval {
+	one := a.one | b.one
+	x := (a.x | b.x) &^ one
+	return pval{one: one, x: x}
+}
+
+func pxor(a, b pval) pval {
+	x := a.x | b.x
+	one := (a.one ^ b.one) &^ x
+	return pval{one: one, x: x}
+}
+
+func pmux(s, d0, d1 pval) pval {
+	s0 := s.zero()
+	agree1 := d0.one & d1.one
+	agree0 := d0.zero() & d1.zero()
+	one := (s0 & d0.one) | (s.one & d1.one) | (s.x & agree1)
+	x := (s0 & d0.x) | (s.one & d1.x) | (s.x &^ (agree1 | agree0))
+	return pval{one: one, x: x}
+}
+
+func ptri(en, d pval) pval {
+	one := en.one & d.one
+	x := ^en.one | (en.one & d.x)
+	return pval{one: one, x: x &^ one}
+}
+
+// fromV broadcasts a scalar value across all 64 lanes.
+func fromV(v logic.V) pval {
+	switch v {
+	case logic.One:
+		return pval{one: ^uint64(0)}
+	case logic.X:
+		return pval{x: ^uint64(0)}
+	}
+	return pval{}
+}
+
+// PSim is the 64-way parallel-pattern simulator: one Capture call evaluates
+// up to 64 patterns simultaneously, one per bit lane.
+type PSim struct {
+	c    *netlist.Circuit
+	vals []pval
+}
+
+// NewParallel returns a parallel simulator for the circuit.
+func NewParallel(c *netlist.Circuit) *PSim {
+	return &PSim{c: c, vals: make([]pval, c.NumGates())}
+}
+
+// Capture evaluates len(loads) patterns (at most 64) in one pass and
+// returns their captured scan responses. loads[k] and pis[k] are pattern
+// k's scan load and primary-input values.
+func (s *PSim) Capture(loads, pis []logic.Vector) ([]logic.Vector, error) {
+	return s.CaptureWithFault(loads, pis, NoFault)
+}
+
+// CaptureWithFault is Capture with a stuck-at fault forced on one node
+// across every lane.
+func (s *PSim) CaptureWithFault(loads, pis []logic.Vector, fault Fault) ([]logic.Vector, error) {
+	c := s.c
+	n := len(loads)
+	if n == 0 || n > 64 {
+		return nil, fmt.Errorf("sim: parallel batch of %d patterns, want 1..64", n)
+	}
+	if len(pis) != n {
+		return nil, fmt.Errorf("sim: %d loads but %d pi vectors", n, len(pis))
+	}
+	for k := 0; k < n; k++ {
+		if len(loads[k]) != len(c.ScanCells) {
+			return nil, fmt.Errorf("sim: load %d width %d, want %d", k, len(loads[k]), len(c.ScanCells))
+		}
+		if len(pis[k]) != len(c.PIs) {
+			return nil, fmt.Errorf("sim: pi %d width %d, want %d", k, len(pis[k]), len(c.PIs))
+		}
+	}
+	pack := func(get func(k int) logic.V) pval {
+		var v pval
+		for k := 0; k < n; k++ {
+			switch get(k) {
+			case logic.One:
+				v.one |= 1 << uint(k)
+			case logic.X:
+				v.x |= 1 << uint(k)
+			}
+		}
+		return v
+	}
+	force := func(id int, v pval) pval {
+		if fault.Node == id {
+			return fromV(fault.StuckAt)
+		}
+		return v
+	}
+	for i, id := range c.PIs {
+		i := i
+		s.vals[id] = force(id, pack(func(k int) logic.V { return pis[k][i] }))
+	}
+	for i, id := range c.ScanCells {
+		i := i
+		s.vals[id] = force(id, pack(func(k int) logic.V { return loads[k][i] }))
+	}
+	for _, id := range c.NonScan {
+		s.vals[id] = force(id, fromV(logic.X))
+	}
+	for id, g := range c.Gates {
+		switch g.Type {
+		case netlist.Tie0:
+			s.vals[id] = force(id, fromV(logic.Zero))
+		case netlist.Tie1:
+			s.vals[id] = force(id, fromV(logic.One))
+		case netlist.TieX:
+			s.vals[id] = force(id, fromV(logic.X))
+		}
+	}
+	for _, id := range c.EvalOrder() {
+		s.vals[id] = force(id, evalGateP(c.Gates[id], s.vals))
+	}
+	out := make([]logic.Vector, n)
+	for k := range out {
+		out[k] = make(logic.Vector, len(c.ScanCells))
+	}
+	for i, id := range c.ScanCells {
+		v := s.vals[c.Gates[id].Fanin[0]]
+		for k := 0; k < n; k++ {
+			bit := uint(k)
+			switch {
+			case v.x>>bit&1 == 1:
+				out[k][i] = logic.X
+			case v.one>>bit&1 == 1:
+				out[k][i] = logic.One
+			default:
+				out[k][i] = logic.Zero
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalGateP(g netlist.Gate, vals []pval) pval {
+	switch g.Type {
+	case netlist.And, netlist.Nand:
+		out := fromV(logic.One)
+		for _, f := range g.Fanin {
+			out = pand(out, vals[f])
+		}
+		if g.Type == netlist.Nand {
+			out = pnot(out)
+		}
+		return out
+	case netlist.Or, netlist.Nor:
+		out := fromV(logic.Zero)
+		for _, f := range g.Fanin {
+			out = por(out, vals[f])
+		}
+		if g.Type == netlist.Nor {
+			out = pnot(out)
+		}
+		return out
+	case netlist.Xor, netlist.Xnor:
+		out := fromV(logic.Zero)
+		for _, f := range g.Fanin {
+			out = pxor(out, vals[f])
+		}
+		if g.Type == netlist.Xnor {
+			out = pnot(out)
+		}
+		return out
+	case netlist.Not:
+		return pnot(vals[g.Fanin[0]])
+	case netlist.Buf:
+		return vals[g.Fanin[0]]
+	case netlist.Mux:
+		return pmux(vals[g.Fanin[0]], vals[g.Fanin[1]], vals[g.Fanin[2]])
+	case netlist.Tri:
+		return ptri(vals[g.Fanin[0]], vals[g.Fanin[1]])
+	}
+	panic(fmt.Sprintf("sim: evalGateP on non-combinational node type %v", g.Type))
+}

@@ -1,0 +1,142 @@
+// Package sim implements three-valued (0/1/X) logic simulation of netlist
+// circuits for the scan-test flow: load the scan cells, apply primary
+// inputs, evaluate the combinational logic (with uninitialized elements
+// producing X's), and capture the next-state values back into the scan
+// cells. A 64-way parallel-pattern simulator accelerates fault-free
+// response generation.
+package sim
+
+import (
+	"fmt"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+// Fault is a single stuck-at fault on a node's output.
+type Fault struct {
+	// Node is the faulty node id; negative means no fault.
+	Node int
+	// StuckAt is the forced value (logic.Zero or logic.One).
+	StuckAt logic.V
+}
+
+// NoFault is the fault-free marker.
+var NoFault = Fault{Node: -1}
+
+// Simulator evaluates one pattern at a time over a fixed circuit.
+type Simulator struct {
+	c    *netlist.Circuit
+	vals []logic.V
+}
+
+// New returns a simulator for the circuit (which must be finalized).
+func New(c *netlist.Circuit) *Simulator {
+	return &Simulator{c: c, vals: make([]logic.V, c.NumGates())}
+}
+
+// Value returns the value of node id after the last Capture.
+func (s *Simulator) Value(id int) logic.V { return s.vals[id] }
+
+// Capture runs one scan-test cycle: scan cells are loaded with load (in
+// scan order), primary inputs driven with pis, the combinational logic is
+// evaluated with every non-scan storage element at X, and the values at the
+// scan cells' data inputs — the captured response — are returned along with
+// the primary-output values. The fault, if any, forces the value of one
+// node during evaluation.
+func (s *Simulator) Capture(load, pis logic.Vector, fault Fault) (capture, pos logic.Vector, err error) {
+	c := s.c
+	if len(load) != len(c.ScanCells) {
+		return nil, nil, fmt.Errorf("sim: load width %d, want %d scan cells", len(load), len(c.ScanCells))
+	}
+	if len(pis) != len(c.PIs) {
+		return nil, nil, fmt.Errorf("sim: pi width %d, want %d", len(pis), len(c.PIs))
+	}
+	// Sources.
+	for i, id := range c.PIs {
+		s.vals[id] = s.forced(id, pis[i], fault)
+	}
+	for i, id := range c.ScanCells {
+		s.vals[id] = s.forced(id, load[i], fault)
+	}
+	for _, id := range c.NonScan {
+		s.vals[id] = s.forced(id, logic.X, fault)
+	}
+	for id, g := range c.Gates {
+		switch g.Type {
+		case netlist.Tie0:
+			s.vals[id] = s.forced(id, logic.Zero, fault)
+		case netlist.Tie1:
+			s.vals[id] = s.forced(id, logic.One, fault)
+		case netlist.TieX:
+			s.vals[id] = s.forced(id, logic.X, fault)
+		}
+	}
+	// Combinational evaluation in levelized order.
+	for _, id := range c.EvalOrder() {
+		s.vals[id] = s.forced(id, evalGate(c.Gates[id], s.vals), fault)
+	}
+	// Capture.
+	capture = make(logic.Vector, len(c.ScanCells))
+	for i, id := range c.ScanCells {
+		capture[i] = s.vals[c.Gates[id].Fanin[0]]
+	}
+	pos = make(logic.Vector, len(c.POs))
+	for i, id := range c.POs {
+		pos[i] = s.vals[id]
+	}
+	return capture, pos, nil
+}
+
+func (s *Simulator) forced(id int, v logic.V, fault Fault) logic.V {
+	if fault.Node == id {
+		return fault.StuckAt
+	}
+	return v
+}
+
+// evalGate computes one combinational gate's output.
+func evalGate(g netlist.Gate, vals []logic.V) logic.V {
+	switch g.Type {
+	case netlist.And, netlist.Nand:
+		out := logic.One
+		for _, f := range g.Fanin {
+			out = logic.And(out, vals[f])
+		}
+		if g.Type == netlist.Nand {
+			out = logic.Not(out)
+		}
+		return out
+	case netlist.Or, netlist.Nor:
+		out := logic.Zero
+		for _, f := range g.Fanin {
+			out = logic.Or(out, vals[f])
+		}
+		if g.Type == netlist.Nor {
+			out = logic.Not(out)
+		}
+		return out
+	case netlist.Xor, netlist.Xnor:
+		out := logic.Zero
+		for _, f := range g.Fanin {
+			out = logic.Xor(out, vals[f])
+		}
+		if g.Type == netlist.Xnor {
+			out = logic.Not(out)
+		}
+		return out
+	case netlist.Not:
+		return logic.Not(vals[g.Fanin[0]])
+	case netlist.Buf:
+		return vals[g.Fanin[0]]
+	case netlist.Mux:
+		return logic.Mux(vals[g.Fanin[0]], vals[g.Fanin[1]], vals[g.Fanin[2]])
+	case netlist.Tri:
+		// Drives data only when enable is exactly 1; otherwise floats (X).
+		if vals[g.Fanin[0]] == logic.One {
+			return vals[g.Fanin[1]]
+		}
+		return logic.X
+	}
+	panic(fmt.Sprintf("sim: evalGate on non-combinational node type %v", g.Type))
+}

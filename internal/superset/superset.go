@@ -1,0 +1,176 @@
+// Package superset implements a simplified form of superset X-canceling
+// [Chung & Touba, VTS'12; Yang & Touba, TCAD'15], the prior control-bit
+// reduction technique the paper positions itself against. Instead of
+// masking, it reuses one set of X-canceling selection data across a group
+// of output responses by computing the controls for the *union* (superset)
+// of the group's X locations. Reuse shrinks the control data, but every
+// non-X bit that falls inside the group's union is canceled away as if it
+// were an X — observability is lost, which is why the original method needs
+// iterative fault simulation, and why the paper's partitioning (which never
+// gives up an observable bit) is attractive.
+//
+// The model here captures the accounting essence: greedy grouping of
+// patterns by X-signature similarity, per-group control bits priced on the
+// union, and an explicit count of the observable captures sacrificed.
+package superset
+
+import (
+	"fmt"
+	"sort"
+
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+)
+
+// Config parameterizes the grouping.
+type Config struct {
+	// MISRSize and Q price the canceling control data.
+	MISRSize int
+	Q        int
+	// MinJaccard is the minimum X-signature similarity (|A∩B| / |A∪B|)
+	// for a pattern to join an existing group; below it a new group opens.
+	MinJaccard float64
+	// MaxLossPerPattern caps the observable bits a member may sacrifice to
+	// its group's union (0 = unlimited).
+	MaxLossPerPattern int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MISRSize < 2 || c.Q < 1 || c.Q >= c.MISRSize {
+		return fmt.Errorf("superset: invalid MISR config m=%d q=%d", c.MISRSize, c.Q)
+	}
+	if c.MinJaccard < 0 || c.MinJaccard > 1 {
+		return fmt.Errorf("superset: MinJaccard %f out of [0,1]", c.MinJaccard)
+	}
+	if c.MaxLossPerPattern < 0 {
+		return fmt.Errorf("superset: negative MaxLossPerPattern")
+	}
+	return nil
+}
+
+// Group is one set of patterns sharing canceling controls.
+type Group struct {
+	// Patterns are the member pattern indices in join order.
+	Patterns []int
+	// Union is the sorted union of the members' X cell indices.
+	Union []int
+	// Lost is the total observable captures sacrificed by members.
+	Lost int
+}
+
+// Result is the accounting of a superset X-canceling run.
+type Result struct {
+	Groups []Group
+	// ControlBits is the reused canceling volume: per group, the cost of
+	// canceling its union once.
+	ControlBits int
+	// PerPatternBits is the plain X-canceling baseline (controls computed
+	// for every pattern separately).
+	PerPatternBits int
+	// LostObservable is the total observable captures treated as X.
+	LostObservable int
+}
+
+// Run groups the patterns of an X-map greedily and returns the accounting.
+func Run(m *xmap.XMap, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	totalX := m.TotalX()
+	res.PerPatternBits = xcancel.ControlBits(totalX, cfg.MISRSize, cfg.Q)
+
+	// Patterns in descending X-count order seed the largest groups first.
+	type pat struct {
+		id    int
+		cells []int
+	}
+	pats := make([]pat, 0, m.Patterns())
+	for p := 0; p < m.Patterns(); p++ {
+		pats = append(pats, pat{id: p, cells: m.PatternCells(p)})
+	}
+	sort.SliceStable(pats, func(i, j int) bool { return len(pats[i].cells) > len(pats[j].cells) })
+
+	var groups []Group
+	for _, p := range pats {
+		best, bestJac := -1, cfg.MinJaccard
+		for gi := range groups {
+			inter, union := interUnion(p.cells, groups[gi].Union)
+			if union == 0 {
+				continue
+			}
+			jac := float64(inter) / float64(union)
+			loss := len(groups[gi].Union) - inter // new member's sacrifice before growth
+			if cfg.MaxLossPerPattern > 0 && loss > cfg.MaxLossPerPattern {
+				continue
+			}
+			if jac >= bestJac {
+				best, bestJac = gi, jac
+			}
+		}
+		if best < 0 {
+			groups = append(groups, Group{Patterns: []int{p.id}, Union: append([]int{}, p.cells...)})
+			continue
+		}
+		groups[best].Union = mergeSorted(groups[best].Union, p.cells)
+		groups[best].Patterns = append(groups[best].Patterns, p.id)
+	}
+
+	// Price each group on its union and charge the members' sacrifices.
+	for gi := range groups {
+		g := &groups[gi]
+		res.ControlBits += xcancel.ControlBits(len(g.Union), cfg.MISRSize, cfg.Q)
+		for _, pid := range g.Patterns {
+			g.Lost += len(g.Union) - len(m.PatternCells(pid))
+		}
+		res.LostObservable += g.Lost
+	}
+	res.Groups = groups
+	return res, nil
+}
+
+// interUnion returns |a ∩ b| and |a ∪ b| for sorted slices.
+func interUnion(a, b []int) (inter, union int) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			union++
+			i++
+			j++
+		case a[i] < b[j]:
+			union++
+			i++
+		default:
+			union++
+			j++
+		}
+	}
+	union += len(a) - i + len(b) - j
+	return inter, union
+}
+
+// mergeSorted returns the sorted union of two sorted slices.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,158 @@
+// Package tester models the automatic test equipment (ATE) side of the
+// hybrid architecture at cycle granularity: scan shifting, loading the
+// shared mask image at partition boundaries over a limited number of tester
+// channels, and the scan halts of the time-multiplexed X-canceling MISR.
+//
+// The paper's normalized test-time equation (1 + n*x*q/(m-q)) corresponds
+// to this model with 32 channels and a 32-bit MISR — each halt's m*q
+// selection bits take exactly q channel cycles — plus free (overlapped)
+// mask loading. The package exposes the knobs the paper holds fixed so
+// their effect can be measured.
+package tester
+
+import (
+	"fmt"
+
+	"xhybrid/internal/scan"
+)
+
+// Config describes the tester resources.
+type Config struct {
+	// Channels is the number of tester channels delivering control data
+	// (the paper uses 32).
+	Channels int
+	// OverlapMaskLoad lets the next partition's mask image stream in while
+	// the previous pattern is still shifting (standard double-buffered
+	// mask registers). When false every mask load stalls the test.
+	OverlapMaskLoad bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Channels < 1 {
+		return fmt.Errorf("tester: need at least one channel, got %d", c.Channels)
+	}
+	return nil
+}
+
+// Plan is the abstract workload the ATE must apply.
+type Plan struct {
+	// Geom is the scan geometry (shift cycles per pattern = ChainLen).
+	Geom scan.Geometry
+	// PartitionOf maps each applied pattern, in application order, to its
+	// partition id; a mask image is (re)loaded whenever the id changes.
+	PartitionOf []int
+	// MaskBitsPerImage is the size of one mask image (Geom.Cells() for
+	// per-cell masks).
+	MaskBitsPerImage int
+	// Halts is the number of X-canceling scan halts.
+	Halts int
+	// MISRSize and Q configure the canceling MISR (each halt extracts Q
+	// combinations of MISRSize selection bits).
+	MISRSize int
+	Q        int
+}
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	if err := p.Geom.Validate(); err != nil {
+		return err
+	}
+	if len(p.PartitionOf) == 0 {
+		return fmt.Errorf("tester: empty pattern order")
+	}
+	if p.MaskBitsPerImage < 0 || p.Halts < 0 {
+		return fmt.Errorf("tester: negative plan component")
+	}
+	if p.MISRSize < 1 || p.Q < 1 || p.Q >= p.MISRSize {
+		return fmt.Errorf("tester: invalid MISR config m=%d q=%d", p.MISRSize, p.Q)
+	}
+	return nil
+}
+
+// Schedule is the cycle-accurate accounting of one test application.
+type Schedule struct {
+	// ShiftCycles is patterns * ChainLen.
+	ShiftCycles int
+	// MaskLoads is the number of mask-image (re)loads.
+	MaskLoads int
+	// MaskLoadCycles is the stall caused by mask loading (0 when loads
+	// fully overlap shifting).
+	MaskLoadCycles int
+	// HaltCycles is the scan-halt time of the canceling MISR, including
+	// selection-data delivery when it exceeds the extraction time.
+	HaltCycles int
+	// TotalCycles is the sum of the above.
+	TotalCycles int
+}
+
+// Normalized returns TotalCycles / ShiftCycles (1.0 = pure shifting, the
+// paper's X-masking-only reference).
+func (s Schedule) Normalized() float64 {
+	if s.ShiftCycles == 0 {
+		return 1
+	}
+	return float64(s.TotalCycles) / float64(s.ShiftCycles)
+}
+
+// Compute derives the schedule for a plan on a tester configuration.
+func Compute(p Plan, cfg Config) (Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	var s Schedule
+	s.ShiftCycles = len(p.PartitionOf) * p.Geom.ChainLen
+
+	// Mask loads at every partition-id change (and one initial load).
+	loadCycles := ceilDiv(p.MaskBitsPerImage, cfg.Channels)
+	prev := -1
+	for i, part := range p.PartitionOf {
+		if part == prev {
+			continue
+		}
+		prev = part
+		s.MaskLoads++
+		switch {
+		case i == 0:
+			// Nothing to overlap with; the first image always stalls.
+			s.MaskLoadCycles += loadCycles
+		case cfg.OverlapMaskLoad:
+			// Streaming during the previous pattern's ChainLen shift
+			// cycles; only the excess stalls.
+			if loadCycles > p.Geom.ChainLen {
+				s.MaskLoadCycles += loadCycles - p.Geom.ChainLen
+			}
+		default:
+			s.MaskLoadCycles += loadCycles
+		}
+	}
+
+	// Each halt spends q extraction cycles; its m*q selection bits need
+	// ceil(m*q/channels) delivery cycles, which dominate when channels are
+	// scarce. With channels = m the two are equal — the paper's model.
+	perHalt := p.Q
+	if d := ceilDiv(p.MISRSize*p.Q, cfg.Channels); d > perHalt {
+		perHalt = d
+	}
+	s.HaltCycles = p.Halts * perHalt
+
+	s.TotalCycles = s.ShiftCycles + s.MaskLoadCycles + s.HaltCycles
+	return s, nil
+}
+
+// OrderedByPartition returns a PartitionOf sequence with each partition's
+// patterns applied contiguously (minimum mask reloads: one per partition).
+func OrderedByPartition(partitionSizes []int) []int {
+	var out []int
+	for id, n := range partitionSizes {
+		for i := 0; i < n; i++ {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

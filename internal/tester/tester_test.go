@@ -1,0 +1,173 @@
+package tester
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xhybrid/internal/scan"
+)
+
+func basePlan() Plan {
+	return Plan{
+		Geom:             scan.MustGeometry(32, 100),
+		PartitionOf:      OrderedByPartition([]int{3, 2}),
+		MaskBitsPerImage: 3200,
+		Halts:            10,
+		MISRSize:         32,
+		Q:                7,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Channels: 0}).Validate(); err == nil {
+		t.Fatal("accepted zero channels")
+	}
+	p := basePlan()
+	p.PartitionOf = nil
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted empty order")
+	}
+	p = basePlan()
+	p.Q = 32
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted q = m")
+	}
+	p = basePlan()
+	p.Halts = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted negative halts")
+	}
+	if _, err := Compute(basePlan(), Config{Channels: 0}); err == nil {
+		t.Fatal("Compute accepted bad config")
+	}
+	if _, err := Compute(Plan{}, Config{Channels: 1}); err == nil {
+		t.Fatal("Compute accepted bad plan")
+	}
+}
+
+func TestOrderedByPartition(t *testing.T) {
+	order := OrderedByPartition([]int{2, 1, 3})
+	want := []int{0, 0, 1, 2, 2, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// With channels = MISR size, each halt costs exactly q cycles — the
+// paper's normalized test-time model.
+func TestHaltCostMatchesPaperModel(t *testing.T) {
+	p := basePlan()
+	p.MaskBitsPerImage = 0 // isolate halting
+	s, err := Compute(p, Config{Channels: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HaltCycles != 10*7 {
+		t.Fatalf("HaltCycles = %d, want 70", s.HaltCycles)
+	}
+	if s.ShiftCycles != 5*100 {
+		t.Fatalf("ShiftCycles = %d", s.ShiftCycles)
+	}
+	want := 1 + float64(70)/float64(500)
+	if got := s.Normalized(); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("Normalized = %v, want %v", got, want)
+	}
+}
+
+func TestScarceChannelsInflateHalts(t *testing.T) {
+	p := basePlan()
+	p.MaskBitsPerImage = 0
+	s8, err := Compute(p, Config{Channels: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32*7 = 224 bits over 8 channels = 28 cycles per halt > q = 7.
+	if s8.HaltCycles != 10*28 {
+		t.Fatalf("HaltCycles = %d, want 280", s8.HaltCycles)
+	}
+}
+
+func TestMaskLoadAccounting(t *testing.T) {
+	p := basePlan() // partitions: 3 then 2 patterns -> 2 loads
+	// 3200 bits over 32 channels = 100 cycles per load.
+	serial, err := Compute(p, Config{Channels: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MaskLoads != 2 || serial.MaskLoadCycles != 200 {
+		t.Fatalf("serial loads=%d cycles=%d, want 2/200", serial.MaskLoads, serial.MaskLoadCycles)
+	}
+	// Overlapped: second load hides behind the 100 shift cycles entirely;
+	// the first still stalls.
+	over, err := Compute(p, Config{Channels: 32, OverlapMaskLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.MaskLoadCycles != 100 {
+		t.Fatalf("overlapped MaskLoadCycles = %d, want 100", over.MaskLoadCycles)
+	}
+	// With fewer channels the image no longer fits behind one pattern.
+	slow, err := Compute(p, Config{Channels: 16, OverlapMaskLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// load = 200 cycles; first stalls 200, second stalls 200-100.
+	if slow.MaskLoadCycles != 300 {
+		t.Fatalf("MaskLoadCycles = %d, want 300", slow.MaskLoadCycles)
+	}
+}
+
+func TestInterleavedOrderCostsMoreLoads(t *testing.T) {
+	p := basePlan()
+	p.PartitionOf = []int{0, 1, 0, 1, 0} // worst case: reload every pattern
+	s, err := Compute(p, Config{Channels: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaskLoads != 5 {
+		t.Fatalf("MaskLoads = %d, want 5", s.MaskLoads)
+	}
+	sorted := basePlan()
+	ss, err := Compute(sorted, Config{Channels: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.TotalCycles >= s.TotalCycles {
+		t.Fatal("partition-sorted order not cheaper than interleaved")
+	}
+}
+
+// Property: total = shift + masks + halts, and normalization is >= 1.
+func TestScheduleConsistency(t *testing.T) {
+	f := func(np, halts, channels uint8) bool {
+		p := Plan{
+			Geom:             scan.MustGeometry(8, 16),
+			PartitionOf:      OrderedByPartition([]int{int(np%5) + 1, 2}),
+			MaskBitsPerImage: 128,
+			Halts:            int(halts % 40),
+			MISRSize:         16,
+			Q:                3,
+		}
+		cfg := Config{Channels: int(channels%64) + 1}
+		s, err := Compute(p, cfg)
+		if err != nil {
+			return false
+		}
+		return s.TotalCycles == s.ShiftCycles+s.MaskLoadCycles+s.HaltCycles &&
+			s.Normalized() >= 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedEmptySchedule(t *testing.T) {
+	if (Schedule{}).Normalized() != 1 {
+		t.Fatal("empty schedule should normalize to 1")
+	}
+}

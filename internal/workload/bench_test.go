@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"testing"
+
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/scan"
+)
+
+func benchCircuit() (*netlist.Circuit, error) {
+	return netlist.Generate(netlist.GenConfig{
+		Name: "wlbench", ScanCells: 256, PIs: 16, XClusters: 8, XFanout: 5, Seed: 2,
+	})
+}
+
+func BenchmarkGenerateCKTBQuarter(b *testing.B) {
+	p := Scaled(CKTB(), 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateCustomDense(b *testing.B) {
+	p := Profile{
+		Name: "dense", Chains: 32, ChainLen: 128, Patterns: 512,
+		XDensity: 0.05, StructuredFraction: 0.5,
+		Clusters: 4, ClusterPatterns: 64,
+		BackgroundCellFraction: 0.1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromCircuit(b *testing.B) {
+	c, err := benchCircuit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	geom := scan.MustGeometry(16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FromCircuit(c, geom, 128, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+
+	"xhybrid/internal/atpg"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/sim"
+	"xhybrid/internal/xmap"
+)
+
+// FromCircuit produces a workload by actually simulating a gate-level
+// circuit: pseudo-random LFSR stimuli are applied, captured responses are
+// collected (in scan-cell order, mapped onto the geometry), and the X-map
+// is derived from them. The scan-cell count of the circuit must equal
+// geom.Cells().
+func FromCircuit(c *netlist.Circuit, geom scan.Geometry, patterns int, seed uint64) (*scan.ResponseSet, *xmap.XMap, error) {
+	if len(c.ScanCells) != geom.Cells() {
+		return nil, nil, fmt.Errorf("workload: circuit has %d scan cells, geometry needs %d", len(c.ScanCells), geom.Cells())
+	}
+	if patterns <= 0 {
+		return nil, nil, fmt.Errorf("workload: non-positive pattern count")
+	}
+	st := atpg.GenerateStimuli(patterns, len(c.ScanCells), len(c.PIs), seed)
+	ps := sim.NewParallel(c)
+	set := scan.NewResponseSet(geom)
+	for base := 0; base < patterns; base += 64 {
+		end := base + 64
+		if end > patterns {
+			end = patterns
+		}
+		caps, err := ps.Capture(st.Loads[base:end], st.PIs[base:end])
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, cap := range caps {
+			resp := scan.Response{Geom: geom, Values: cap}
+			if err := set.Append(resp); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return set, xmap.FromResponses(set), nil
+}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/xmap"
+)
+
+// ResponsesFromXMap synthesizes a fully specified response set consistent
+// with an X-map: every mapped location captures X, every other cell a
+// pseudo-random known value. This lets the cycle-level machinery (masking
+// stage, compactor, X-canceling sessions) run on the statistical workloads,
+// whose generator only decides where the X's are.
+func ResponsesFromXMap(m *xmap.XMap, g scan.Geometry, seed int64) (*scan.ResponseSet, error) {
+	if m.Cells() != g.Cells() {
+		return nil, fmt.Errorf("workload: X-map has %d cells, geometry %d", m.Cells(), g.Cells())
+	}
+	r := rand.New(rand.NewSource(seed))
+	set := scan.NewResponseSet(g)
+	for p := 0; p < m.Patterns(); p++ {
+		resp := scan.Response{Geom: g, Values: make(logic.Vector, g.Cells())}
+		for c := range resp.Values {
+			resp.Values[c] = logic.V(r.Intn(2))
+		}
+		for _, c := range m.PatternCells(p) {
+			resp.Values[c] = logic.X
+		}
+		if err := set.Append(resp); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}

@@ -1,0 +1,136 @@
+package xcancel
+
+import (
+	"fmt"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/scan"
+)
+
+// Schedule is the tester program extracted from a golden run: when to halt
+// and which signature-bit combinations to read out at each halt. Real
+// hardware applies exactly this — the selections come down the control
+// channels regardless of what the silicon actually produced.
+type Schedule struct {
+	// MISR and Q mirror the configuration the schedule was built for.
+	MISR misr.Config
+	Q    int
+	// HaltCycles lists the shift-cycle indices at which scan halts.
+	HaltCycles []int
+	// Selections[i] are the selection vectors applied at halt i.
+	Selections [][]gf2.Vec
+	// Parities[i] are the golden (expected) parities at halt i.
+	Parities [][]int
+	// FinalSignature is the expected end-of-test signature.
+	FinalSignature uint64
+}
+
+// ExtractSchedule converts a golden Result into the tester program.
+func ExtractSchedule(cfg Config, res Result) Schedule {
+	s := Schedule{MISR: cfg.MISR, Q: cfg.Q, FinalSignature: res.FinalSignature}
+	for _, h := range res.Halts {
+		s.HaltCycles = append(s.HaltCycles, h.Cycle)
+		var sels []gf2.Vec
+		var pars []int
+		for _, sig := range h.Signatures {
+			sels = append(sels, sig.Selection)
+			pars = append(pars, sig.Parity)
+		}
+		s.Selections = append(s.Selections, sels)
+		s.Parities = append(s.Parities, pars)
+	}
+	return s
+}
+
+// ReplayResult is the outcome of applying a programmed schedule to a
+// (possibly faulty) response stream.
+type ReplayResult struct {
+	// ParityMismatches counts programmed signatures whose parity deviated
+	// from the golden expectation.
+	ParityMismatches int
+	// Contaminated counts programmed signatures that were no longer X-free
+	// because the X profile shifted — hardware reads an unknown value and
+	// flags the compare.
+	Contaminated int
+	// FinalMismatch marks an end-of-test signature deviation (only
+	// meaningful when the final state is X-free; see FinalContaminated).
+	FinalMismatch bool
+	// FinalContaminated marks X's left in the register at end of test.
+	FinalContaminated bool
+}
+
+// Fails reports whether the replayed device would be rejected.
+func (r ReplayResult) Fails() bool {
+	return r.ParityMismatches > 0 || r.Contaminated > 0 || r.FinalMismatch || r.FinalContaminated
+}
+
+// Replay applies the programmed schedule to a response stream. Unlike the
+// adaptive Canceler, halts occur exactly at the programmed cycles and the
+// programmed selections are evaluated against whatever the stream contains:
+// a selection that is no longer X-free is counted as contaminated (the
+// physical comparator sees an unknown), and known parities are checked
+// against the golden expectations.
+func Replay(sched Schedule, set *scan.ResponseSet) (*ReplayResult, error) {
+	if set.Geom.Chains != sched.MISR.Size {
+		return nil, fmt.Errorf("xcancel: %d chains but %d-input MISR", set.Geom.Chains, sched.MISR.Size)
+	}
+	sym, err := misr.NewSymbolic(sched.MISR, sched.MISR.Size)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReplayResult{}
+	cycle := 0
+	next := 0
+	halt := func() {
+		if next >= len(sched.HaltCycles) {
+			return
+		}
+		for k, sel := range sched.Selections[next] {
+			parity, deps := sym.Combine(sel)
+			if !deps.IsZero() {
+				out.Contaminated++
+				continue
+			}
+			if parity != sched.Parities[next][k] {
+				out.ParityMismatches++
+			}
+		}
+		sym.Reset()
+		next++
+	}
+	for _, r := range set.Responses {
+		for t := 0; t < set.Geom.ChainLen; t++ {
+			in := r.Slice(t)
+			if len(in) != sched.MISR.Size {
+				return nil, fmt.Errorf("xcancel: slice width %d, want %d", len(in), sched.MISR.Size)
+			}
+			sym.ClockVector(in, nil)
+			cycle++
+			for next < len(sched.HaltCycles) && sched.HaltCycles[next] == cycle {
+				halt()
+			}
+		}
+	}
+	// Any unapplied halts mean the stream was shorter than programmed.
+	if next < len(sched.HaltCycles) {
+		return nil, fmt.Errorf("xcancel: stream ended before halt %d (cycle %d)", next, sched.HaltCycles[next])
+	}
+	// End-of-test signature.
+	if sym.NumSymbols() > 0 {
+		dirty := false
+		for i := 0; i < sched.MISR.Size; i++ {
+			sel := gf2.NewVec(sched.MISR.Size)
+			sel.Set(i)
+			if _, deps := sym.Combine(sel); !deps.IsZero() {
+				dirty = true
+				break
+			}
+		}
+		out.FinalContaminated = dirty
+	}
+	if !out.FinalContaminated && sym.Known() != sched.FinalSignature {
+		out.FinalMismatch = true
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package xcancel
+
+import (
+	"math/rand"
+	"testing"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/scan"
+)
+
+// A golden stream replayed against its own schedule passes clean.
+func TestReplayGoldenPasses(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	set := randomResponses(r, 10, 20, 5, 0.03)
+	cfg := cfg(10, 3)
+	golden, err := RunResponses(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := ExtractSchedule(cfg, golden)
+	if len(sched.HaltCycles) != len(golden.Halts) {
+		t.Fatal("schedule lost halts")
+	}
+	rep, err := Replay(sched, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fails() {
+		t.Fatalf("golden replay fails: %+v", rep)
+	}
+}
+
+// Flipping a known bit before a halt must trip a parity mismatch or a
+// contamination flag under the programmed schedule.
+func TestReplayDetectsKnownFlip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	set := randomResponses(r, 10, 20, 5, 0.03)
+	cfg := cfg(10, 3)
+	golden, err := RunResponses(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := ExtractSchedule(cfg, golden)
+	detected, trials := 0, 0
+	for pi := 0; pi < set.Patterns(); pi++ {
+		for ch := 0; ch < 10; ch += 3 {
+			for pos := 0; pos < 20; pos += 5 {
+				if set.Responses[pi].At(ch, pos) == logic.X {
+					continue
+				}
+				faulty := scan.NewResponseSet(set.Geom)
+				for i, resp := range set.Responses {
+					c := resp.Clone()
+					if i == pi {
+						c.Set(ch, pos, logic.Not(c.At(ch, pos)))
+					}
+					if err := faulty.Append(c); err != nil {
+						t.Fatal(err)
+					}
+				}
+				rep, err := Replay(sched, faulty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				trials++
+				if rep.Fails() {
+					detected++
+				}
+			}
+		}
+	}
+	if trials < 30 {
+		t.Fatalf("too few trials: %d", trials)
+	}
+	if detected == 0 {
+		t.Fatal("programmed replay detected nothing")
+	}
+}
+
+// Moving an X (a shifted X profile) contaminates programmed signatures: the
+// device is flagged rather than silently compared.
+func TestReplayFlagsShiftedX(t *testing.T) {
+	g := scan.MustGeometry(8, 10)
+	base := scan.NewResponseSet(g)
+	r0 := scan.NewResponse(g)
+	for c := 0; c < 8; c++ {
+		for p := 0; p < 10; p++ {
+			r0.Set(c, p, logic.Zero)
+		}
+	}
+	// Six X's in cycle 0 trigger a halt (m=8, q=2, threshold 6).
+	for i := 0; i < 6; i++ {
+		r0.Set(i, 0, logic.X)
+	}
+	if err := base.Append(r0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfg(8, 2)
+	golden, err := RunResponses(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(golden.Halts) == 0 {
+		t.Fatal("setup produced no halt")
+	}
+	sched := ExtractSchedule(cfg, golden)
+
+	// Shift an X to a different chain: the programmed selections no longer
+	// cancel it.
+	shifted := scan.NewResponseSet(g)
+	r1 := r0.Clone()
+	r1.Set(0, 0, logic.Zero) // remove one X...
+	r1.Set(7, 0, logic.X)    // ...and add one elsewhere
+	if err := shifted.Append(r1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(sched, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Contaminated == 0 {
+		t.Fatalf("shifted X not flagged: %+v", rep)
+	}
+	if !rep.Fails() {
+		t.Fatal("shifted-X device not rejected")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cfg := cfg(8, 2)
+	sched := Schedule{MISR: cfg.MISR, Q: cfg.Q}
+	wrong := scan.NewResponseSet(scan.MustGeometry(4, 4))
+	if _, err := Replay(sched, wrong); err == nil {
+		t.Fatal("accepted mismatched geometry")
+	}
+	// Programmed halt beyond the stream end errors.
+	sched.HaltCycles = []int{999}
+	sched.Selections = append(sched.Selections, nil)
+	sched.Parities = append(sched.Parities, nil)
+	short := scan.NewResponseSet(scan.MustGeometry(8, 2))
+	r := scan.NewResponse(scan.MustGeometry(8, 2))
+	for c := 0; c < 8; c++ {
+		for p := 0; p < 2; p++ {
+			r.Set(c, p, logic.Zero)
+		}
+	}
+	if err := short.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(sched, short); err == nil {
+		t.Fatal("accepted truncated stream")
+	}
+}

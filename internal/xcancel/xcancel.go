@@ -1,0 +1,252 @@
+// Package xcancel implements the X-canceling MISR methodology [12, 13]:
+// unknown values are allowed into the MISR, their propagation is tracked
+// symbolically, and Gaussian elimination over GF(2) finds linear
+// combinations of signature bits with no X dependence. Those X-free
+// combinations are compared against their fault-free values, preserving
+// fault coverage without blocking any response bits.
+//
+// The package provides both the closed-form accounting used by the paper's
+// Table 1 (control bits and normalized test time as functions of the total
+// X count, MISR size m, and X-free combination count q) and a cycle-level
+// session controller over a symbolic MISR for end-to-end demonstrations.
+package xcancel
+
+import (
+	"fmt"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/scan"
+)
+
+// Config describes an X-canceling MISR deployment.
+type Config struct {
+	// MISR is the register configuration (size m and polynomial).
+	MISR misr.Config
+	// Q is the number of X-free combinations extracted per halt. Each halt
+	// transfers m*Q selection control bits and costs Q extraction cycles in
+	// the time-multiplexed architecture [11].
+	Q int
+	// Shadow selects the shadow-register variant of [11]: extraction
+	// overlaps scan shifting, so it costs no test time, but the selection
+	// data needs dedicated tester channels. Accounting only.
+	Shadow bool
+}
+
+// Validate checks the configuration invariants.
+func (c Config) Validate() error {
+	if err := c.MISR.Validate(); err != nil {
+		return err
+	}
+	if c.Q < 1 || c.Q >= c.MISR.Size {
+		return fmt.Errorf("xcancel: q = %d must satisfy 1 <= q < m = %d", c.Q, c.MISR.Size)
+	}
+	return nil
+}
+
+// Halts returns the number of scan halts needed to retire totalX unknown
+// values: ceil(totalX / (m - q)).
+func Halts(totalX, m, q int) int {
+	if totalX <= 0 {
+		return 0
+	}
+	cap := m - q
+	return (totalX + cap - 1) / cap
+}
+
+// ControlBits returns the paper's X-canceling control-bit volume
+// ceil(m*q*totalX / (m-q)): each halt transfers m*q selection bits and the
+// product is rounded up once at the end, matching the paper's worked
+// examples (57.5 -> 58, 43.3 -> 44, 50.5 -> 51).
+func ControlBits(totalX, m, q int) int {
+	if totalX <= 0 {
+		return 0
+	}
+	num := m * q * totalX
+	den := m - q
+	return (num + den - 1) / den
+}
+
+// ControlBitsPerHaltCeil is the alternative accounting that rounds the halt
+// count up first: Halts * m * q. It upper-bounds ControlBits and is what a
+// cycle-accurate controller actually transfers; exposed for the rounding
+// ablation.
+func ControlBitsPerHaltCeil(totalX, m, q int) int {
+	return Halts(totalX, m, q) * m * q
+}
+
+// NormalizedTestTime returns the paper's normalized test time for the
+// time-multiplexed X-canceling MISR: 1 + chains*xDensity*q/(m-q), where
+// xDensity is the fraction of response bits (entering the MISR) that are X.
+// The shadow-register variant always has normalized time 1.
+func NormalizedTestTime(cfg Config, chains int, xDensity float64) float64 {
+	if cfg.Shadow {
+		return 1
+	}
+	m, q := cfg.MISR.Size, cfg.Q
+	return 1 + float64(chains)*xDensity*float64(q)/float64(m-q)
+}
+
+// Signature is one extracted X-free combination.
+type Signature struct {
+	// Selection selects the signature bits XORed together (length m).
+	Selection gf2.Vec
+	// Parity is the combination's fault-free-known parity at extraction.
+	Parity int
+}
+
+// Halt records one scan-halt extraction event.
+type Halt struct {
+	// Cycle is the shift-cycle index at which the halt occurred.
+	Cycle int
+	// XRetired is the number of accumulated X symbols retired.
+	XRetired int
+	// Signatures are the extracted X-free combinations (up to Q).
+	Signatures []Signature
+	// Deficit is Q minus the number of X-free combinations available; a
+	// nonzero deficit means more X's accumulated in one cycle than m-q.
+	Deficit int
+}
+
+// Result summarizes a full X-canceling run.
+type Result struct {
+	Halts       []Halt
+	TotalX      int
+	ShiftCycles int
+	// HaltCycles is Q per halt for the time-multiplexed variant, 0 for
+	// the shadow-register variant.
+	HaltCycles int
+	// ControlBits is m*Q per halt actually transferred.
+	ControlBits int
+	// FinalSignature is the MISR state read out at end of test. It is
+	// X-free: the register is reset at every halt, so it only accumulates
+	// known values captured after the last halt.
+	FinalSignature uint64
+}
+
+// NormalizedTime returns (shift + halt cycles) / shift cycles.
+func (r Result) NormalizedTime() float64 {
+	if r.ShiftCycles == 0 {
+		return 1
+	}
+	return float64(r.ShiftCycles+r.HaltCycles) / float64(r.ShiftCycles)
+}
+
+// Canceler is the cycle-level session controller. Feed it one compactor
+// input slice per shift cycle; it accumulates X symbols in a symbolic MISR
+// and halts whenever the pending X count reaches m-q, extracting Q X-free
+// combinations and retiring the symbols.
+type Canceler struct {
+	cfg      Config
+	sym      *misr.Symbolic
+	pendingX int
+	res      Result
+}
+
+// NewCanceler returns a controller for the configuration.
+func NewCanceler(cfg Config) (*Canceler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sym, err := misr.NewSymbolic(cfg.MISR, cfg.MISR.Size)
+	if err != nil {
+		return nil, err
+	}
+	return &Canceler{cfg: cfg, sym: sym}, nil
+}
+
+// MustNewCanceler is NewCanceler that panics on error.
+func MustNewCanceler(cfg Config) *Canceler {
+	c, err := NewCanceler(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Shift feeds one compactor input slice (width m) for one shift cycle.
+func (c *Canceler) Shift(in logic.Vector) error {
+	if len(in) != c.cfg.MISR.Size {
+		return fmt.Errorf("xcancel: input width %d, want %d", len(in), c.cfg.MISR.Size)
+	}
+	for _, v := range in {
+		if v == logic.X {
+			c.pendingX++
+			c.res.TotalX++
+		}
+	}
+	c.sym.ClockVector(in, nil)
+	c.res.ShiftCycles++
+	if c.pendingX >= c.cfg.MISR.Size-c.cfg.Q {
+		c.halt()
+	}
+	return nil
+}
+
+// halt extracts X-free combinations and retires the pending symbols.
+func (c *Canceler) halt() {
+	dep := c.sym.Matrix()
+	sels := gf2.NullCombinations(dep)
+	h := Halt{Cycle: c.res.ShiftCycles, XRetired: c.pendingX}
+	take := c.cfg.Q
+	if len(sels) < take {
+		h.Deficit = take - len(sels)
+		take = len(sels)
+	}
+	for _, sel := range sels[:take] {
+		parity, deps := c.sym.Combine(sel)
+		if !deps.IsZero() {
+			panic("xcancel: extracted combination is not X-free")
+		}
+		h.Signatures = append(h.Signatures, Signature{Selection: sel, Parity: parity})
+	}
+	// The register is reset after read-out, as in the time-multiplexed
+	// X-canceling MISR: the next session starts clean.
+	c.sym.Reset()
+	c.pendingX = 0
+	c.res.Halts = append(c.res.Halts, h)
+	c.res.ControlBits += c.cfg.MISR.Size * c.cfg.Q
+	if !c.cfg.Shadow {
+		c.res.HaltCycles += c.cfg.Q
+	}
+}
+
+// Finish performs a final halt if X symbols are pending, records the
+// end-of-test signature, and returns the run summary. The controller can
+// keep shifting afterwards; Finish is idempotent when no X's are pending.
+func (c *Canceler) Finish() Result {
+	if c.pendingX > 0 {
+		c.halt()
+	}
+	c.res.FinalSignature = c.sym.Known()
+	return c.res
+}
+
+// PendingX returns the number of X symbols accumulated since the last halt.
+func (c *Canceler) PendingX() int { return c.pendingX }
+
+// Known returns the known-contribution part of the MISR state.
+func (c *Canceler) Known() uint64 { return c.sym.Known() }
+
+// RunResponses shifts every response of the set through a fresh canceler
+// (the scan geometry's chain count must equal the MISR size) and returns the
+// run summary. This is the end-to-end demonstration path; large designs use
+// the closed-form accounting instead.
+func RunResponses(cfg Config, s *scan.ResponseSet) (Result, error) {
+	if s.Geom.Chains != cfg.MISR.Size {
+		return Result{}, fmt.Errorf("xcancel: %d chains but %d-input MISR", s.Geom.Chains, cfg.MISR.Size)
+	}
+	c, err := NewCanceler(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, r := range s.Responses {
+		for t := 0; t < s.Geom.ChainLen; t++ {
+			if err := c.Shift(r.Slice(t)); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return c.Finish(), nil
+}

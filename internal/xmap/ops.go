@@ -1,0 +1,66 @@
+package xmap
+
+import (
+	"fmt"
+
+	"xhybrid/internal/gf2"
+)
+
+// Union returns a new map with the X locations of both inputs, which must
+// share dimensions. Useful for merging per-block analysis results or for
+// superset-style reasoning.
+func Union(a, b *XMap) (*XMap, error) {
+	if a.numPatterns != b.numPatterns || a.numCells != b.numCells {
+		return nil, fmt.Errorf("xmap: dimension mismatch %dx%d vs %dx%d",
+			a.numPatterns, a.numCells, b.numPatterns, b.numCells)
+	}
+	out := a.Clone()
+	for _, c := range b.cells {
+		i, ok := out.slot[c.Cell]
+		if !ok {
+			i = out.insertCell(c.Cell)
+		}
+		out.cells[i].Patterns.Or(c.Patterns)
+	}
+	return out, nil
+}
+
+// Subtract returns a's X locations with b's removed (a \ b).
+func Subtract(a, b *XMap) (*XMap, error) {
+	if a.numPatterns != b.numPatterns || a.numCells != b.numCells {
+		return nil, fmt.Errorf("xmap: dimension mismatch %dx%d vs %dx%d",
+			a.numPatterns, a.numCells, b.numPatterns, b.numCells)
+	}
+	out := New(a.numPatterns, a.numCells)
+	for _, c := range a.cells {
+		bits := c.Patterns.Clone()
+		if j, ok := b.slot[c.Cell]; ok {
+			bits.AndNot(b.cells[j].Patterns)
+		}
+		if bits.IsZero() {
+			continue
+		}
+		i := out.insertCell(c.Cell)
+		out.cells[i].Patterns.Or(bits)
+	}
+	return out, nil
+}
+
+// SelectPatterns keeps only the X's of the patterns selected by part
+// (same pattern numbering; deselected patterns become X-free).
+func SelectPatterns(m *XMap, part gf2.Vec) (*XMap, error) {
+	if part.Len() != m.numPatterns {
+		return nil, fmt.Errorf("xmap: selector width %d, want %d", part.Len(), m.numPatterns)
+	}
+	out := New(m.numPatterns, m.numCells)
+	for _, c := range m.cells {
+		bits := c.Patterns.Clone()
+		bits.And(part)
+		if bits.IsZero() {
+			continue
+		}
+		i := out.insertCell(c.Cell)
+		out.cells[i].Patterns.Or(bits)
+	}
+	return out, nil
+}

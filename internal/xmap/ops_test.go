@@ -1,0 +1,111 @@
+package xmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xhybrid/internal/gf2"
+)
+
+func randXMap(r *rand.Rand, np, nc, n int) *XMap {
+	m := New(np, nc)
+	for i := 0; i < n; i++ {
+		m.Add(r.Intn(np), r.Intn(nc))
+	}
+	return m
+}
+
+func TestUnionSubtractProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		np, nc := 1+r.Intn(12), 1+r.Intn(20)
+		a := randXMap(r, np, nc, r.Intn(60))
+		b := randXMap(r, np, nc, r.Intn(60))
+		u, err := Union(a, b)
+		if err != nil {
+			return false
+		}
+		// Union contains both.
+		for _, m := range []*XMap{a, b} {
+			for _, c := range m.XCells() {
+				ok := true
+				c.Patterns.ForEach(func(p int) {
+					if !u.Has(p, c.Cell) {
+						ok = false
+					}
+				})
+				if !ok {
+					return false
+				}
+			}
+		}
+		// |A ∪ B| = |A| + |B \ A|.
+		bMinusA, err := Subtract(b, a)
+		if err != nil {
+			return false
+		}
+		if u.TotalX() != a.TotalX()+bMinusA.TotalX() {
+			return false
+		}
+		// (A ∪ B) \ B == A \ B.
+		l, err := Subtract(u, b)
+		if err != nil {
+			return false
+		}
+		rhs, err := Subtract(a, b)
+		if err != nil {
+			return false
+		}
+		return l.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectPatterns(t *testing.T) {
+	m := New(4, 5)
+	m.Add(0, 1)
+	m.Add(1, 1)
+	m.Add(3, 2)
+	sel := gf2.FromIndices(4, 1, 3)
+	out, err := SelectPatterns(m, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalX() != 2 || !out.Has(1, 1) || !out.Has(3, 2) || out.Has(0, 1) {
+		t.Fatalf("selection wrong: %d X's", out.TotalX())
+	}
+	// Selecting everything is identity; nothing empties the map.
+	all := gf2.NewVec(4)
+	all.SetAll()
+	id, err := SelectPatterns(m, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.Equal(m) {
+		t.Fatal("full selection not identity")
+	}
+	none, err := SelectPatterns(m, gf2.NewVec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.TotalX() != 0 {
+		t.Fatal("empty selection kept X's")
+	}
+}
+
+func TestOpsDimensionErrors(t *testing.T) {
+	a := New(2, 2)
+	b := New(3, 2)
+	if _, err := Union(a, b); err == nil {
+		t.Fatal("union accepted mismatch")
+	}
+	if _, err := Subtract(a, b); err == nil {
+		t.Fatal("subtract accepted mismatch")
+	}
+	if _, err := SelectPatterns(a, gf2.NewVec(3)); err == nil {
+		t.Fatal("select accepted bad width")
+	}
+}

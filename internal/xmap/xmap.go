@@ -1,0 +1,194 @@
+// Package xmap implements the sparse X-location map: for every scan cell
+// that ever captures an unknown value, the set of test patterns under which
+// it does. This is the only view of the output responses that the paper's
+// correlation analysis, partitioning algorithm, and control-bit accounting
+// need, and it stays small even for industrial designs because X-densities
+// are low (fractions of a percent to a few percent).
+package xmap
+
+import (
+	"fmt"
+	"sort"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/scan"
+)
+
+// CellX records one X-capturing scan cell and the patterns under which it
+// captures an X.
+type CellX struct {
+	// Cell is the flat chain-major cell index.
+	Cell int
+	// Patterns has bit p set iff the cell captures X under pattern p.
+	Patterns gf2.Vec
+}
+
+// Count returns the number of patterns under which the cell captures an X.
+func (c CellX) Count() int { return c.Patterns.PopCount() }
+
+// XMap is the sparse pattern-by-cell X-location matrix.
+type XMap struct {
+	numPatterns int
+	numCells    int
+	// cells holds the X-capturing cells in ascending cell-index order.
+	cells []CellX
+	// slot maps a cell index to its position in cells.
+	slot map[int]int
+}
+
+// New returns an empty XMap for the given dimensions.
+func New(numPatterns, numCells int) *XMap {
+	if numPatterns < 0 || numCells < 0 {
+		panic("xmap: negative dimension")
+	}
+	return &XMap{
+		numPatterns: numPatterns,
+		numCells:    numCells,
+		slot:        make(map[int]int),
+	}
+}
+
+// FromResponses builds an XMap from a captured response set.
+func FromResponses(s *scan.ResponseSet) *XMap {
+	m := New(s.Patterns(), s.Geom.Cells())
+	for p, r := range s.Responses {
+		for cell, v := range r.Values {
+			if v == logic.X {
+				m.Add(p, cell)
+			}
+		}
+	}
+	return m
+}
+
+// Patterns returns the number of test patterns.
+func (m *XMap) Patterns() int { return m.numPatterns }
+
+// Cells returns the total number of scan cells (X-capturing or not).
+func (m *XMap) Cells() int { return m.numCells }
+
+// Add marks cell as X under pattern p.
+func (m *XMap) Add(p, cell int) {
+	if p < 0 || p >= m.numPatterns {
+		panic(fmt.Sprintf("xmap: pattern %d out of range [0,%d)", p, m.numPatterns))
+	}
+	if cell < 0 || cell >= m.numCells {
+		panic(fmt.Sprintf("xmap: cell %d out of range [0,%d)", cell, m.numCells))
+	}
+	i, ok := m.slot[cell]
+	if !ok {
+		i = m.insertCell(cell)
+	}
+	m.cells[i].Patterns.Set(p)
+}
+
+// insertCell inserts a fresh CellX entry keeping ascending cell order.
+func (m *XMap) insertCell(cell int) int {
+	i := sort.Search(len(m.cells), func(k int) bool { return m.cells[k].Cell >= cell })
+	m.cells = append(m.cells, CellX{})
+	copy(m.cells[i+1:], m.cells[i:])
+	m.cells[i] = CellX{Cell: cell, Patterns: gf2.NewVec(m.numPatterns)}
+	for k := i; k < len(m.cells); k++ {
+		m.slot[m.cells[k].Cell] = k
+	}
+	return i
+}
+
+// Has reports whether cell captures X under pattern p.
+func (m *XMap) Has(p, cell int) bool {
+	i, ok := m.slot[cell]
+	if !ok {
+		return false
+	}
+	return m.cells[i].Patterns.Get(p)
+}
+
+// XCells returns the X-capturing cells in ascending cell-index order.
+// The returned slice and its bitsets are shared; treat as read-only.
+func (m *XMap) XCells() []CellX { return m.cells }
+
+// NumXCells returns the number of cells that capture at least one X.
+func (m *XMap) NumXCells() int { return len(m.cells) }
+
+// CellPatterns returns the pattern bitset for a cell, or ok=false if the
+// cell never captures an X. The bitset is shared; treat as read-only.
+func (m *XMap) CellPatterns(cell int) (gf2.Vec, bool) {
+	i, ok := m.slot[cell]
+	if !ok {
+		return gf2.Vec{}, false
+	}
+	return m.cells[i].Patterns, true
+}
+
+// TotalX returns the total number of X values across all patterns.
+func (m *XMap) TotalX() int {
+	n := 0
+	for _, c := range m.cells {
+		n += c.Patterns.PopCount()
+	}
+	return n
+}
+
+// PatternXCounts returns, for each pattern, the number of X's it captures.
+func (m *XMap) PatternXCounts() []int {
+	counts := make([]int, m.numPatterns)
+	for _, c := range m.cells {
+		c.Patterns.ForEach(func(p int) { counts[p]++ })
+	}
+	return counts
+}
+
+// PatternCells returns the X-capturing cell indices of pattern p, ascending.
+func (m *XMap) PatternCells(p int) []int {
+	var out []int
+	for _, c := range m.cells {
+		if c.Patterns.Get(p) {
+			out = append(out, c.Cell)
+		}
+	}
+	return out
+}
+
+// Density returns the fraction of all response bits that are X.
+func (m *XMap) Density() float64 {
+	total := m.numPatterns * m.numCells
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TotalX()) / float64(total)
+}
+
+// Clone returns a deep copy.
+func (m *XMap) Clone() *XMap {
+	c := New(m.numPatterns, m.numCells)
+	c.cells = make([]CellX, len(m.cells))
+	for i, ce := range m.cells {
+		c.cells[i] = CellX{Cell: ce.Cell, Patterns: ce.Patterns.Clone()}
+		c.slot[ce.Cell] = i
+	}
+	return c
+}
+
+// CountIn returns the number of patterns in the partition bitset under which
+// cell captures an X. Returns 0 for cells that never capture X.
+func (m *XMap) CountIn(cell int, partition gf2.Vec) int {
+	i, ok := m.slot[cell]
+	if !ok {
+		return 0
+	}
+	return m.cells[i].Patterns.PopCountAnd(partition)
+}
+
+// Equal reports whether two maps have identical dimensions and X locations.
+func (m *XMap) Equal(o *XMap) bool {
+	if m.numPatterns != o.numPatterns || m.numCells != o.numCells || len(m.cells) != len(o.cells) {
+		return false
+	}
+	for i, c := range m.cells {
+		if c.Cell != o.cells[i].Cell || !c.Patterns.Equal(o.cells[i].Patterns) {
+			return false
+		}
+	}
+	return true
+}

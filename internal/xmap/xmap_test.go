@@ -1,0 +1,218 @@
+package xmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/scan"
+)
+
+func TestAddHasTotal(t *testing.T) {
+	m := New(8, 15)
+	m.Add(0, 3)
+	m.Add(4, 3)
+	m.Add(1, 12)
+	m.Add(1, 12) // duplicate adds are idempotent
+	if !m.Has(0, 3) || !m.Has(4, 3) || !m.Has(1, 12) {
+		t.Fatal("Has missing added entries")
+	}
+	if m.Has(2, 3) || m.Has(0, 0) {
+		t.Fatal("Has reports spurious X")
+	}
+	if m.TotalX() != 3 {
+		t.Fatalf("TotalX = %d, want 3", m.TotalX())
+	}
+	if m.NumXCells() != 2 {
+		t.Fatalf("NumXCells = %d, want 2", m.NumXCells())
+	}
+}
+
+func TestXCellsSortedAndCounts(t *testing.T) {
+	m := New(4, 20)
+	for _, c := range []int{19, 2, 7, 2} {
+		m.Add(0, c)
+	}
+	m.Add(3, 7)
+	cells := m.XCells()
+	if len(cells) != 3 || cells[0].Cell != 2 || cells[1].Cell != 7 || cells[2].Cell != 19 {
+		t.Fatalf("XCells order wrong: %+v", cells)
+	}
+	if cells[1].Count() != 2 {
+		t.Fatalf("cell 7 count = %d, want 2", cells[1].Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, f := range []func(){
+		func() { m.Add(2, 0) },
+		func() { m.Add(-1, 0) },
+		func() { m.Add(0, 2) },
+		func() { m.Add(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPatternViews(t *testing.T) {
+	m := New(3, 10)
+	m.Add(0, 1)
+	m.Add(0, 5)
+	m.Add(2, 5)
+	counts := m.PatternXCounts()
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("PatternXCounts = %v", counts)
+	}
+	cells := m.PatternCells(0)
+	if len(cells) != 2 || cells[0] != 1 || cells[1] != 5 {
+		t.Fatalf("PatternCells(0) = %v", cells)
+	}
+	if m.PatternCells(1) != nil {
+		t.Fatal("PatternCells(1) should be empty")
+	}
+}
+
+func TestCellPatterns(t *testing.T) {
+	m := New(5, 5)
+	m.Add(1, 2)
+	m.Add(4, 2)
+	bits, ok := m.CellPatterns(2)
+	if !ok || bits.PopCount() != 2 || !bits.Get(1) || !bits.Get(4) {
+		t.Fatalf("CellPatterns wrong: %v %v", bits, ok)
+	}
+	if _, ok := m.CellPatterns(0); ok {
+		t.Fatal("CellPatterns reported non-X cell")
+	}
+}
+
+func TestCountIn(t *testing.T) {
+	m := New(6, 4)
+	for _, p := range []int{0, 2, 4} {
+		m.Add(p, 1)
+	}
+	part := gf2.FromIndices(6, 0, 1, 2)
+	if got := m.CountIn(1, part); got != 2 {
+		t.Fatalf("CountIn = %d, want 2", got)
+	}
+	if got := m.CountIn(3, part); got != 0 {
+		t.Fatalf("CountIn(non-X cell) = %d, want 0", got)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m := New(4, 5)
+	m.Add(0, 0)
+	m.Add(1, 1)
+	if d := m.Density(); d != 2.0/20.0 {
+		t.Fatalf("Density = %f", d)
+	}
+	if New(0, 0).Density() != 0 {
+		t.Fatal("empty density must be 0")
+	}
+}
+
+func TestFromResponses(t *testing.T) {
+	g := scan.MustGeometry(2, 3)
+	s := scan.NewResponseSet(g)
+	r := scan.NewResponse(g) // all-X
+	for c := 0; c < 2; c++ {
+		for p := 0; p < 3; p++ {
+			r.Set(c, p, logic.Zero)
+		}
+	}
+	r.Set(0, 1, logic.X)
+	r.Set(1, 2, logic.X)
+	if err := s.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	m := FromResponses(s)
+	if m.Patterns() != 1 || m.Cells() != 6 {
+		t.Fatalf("dims %dx%d", m.Patterns(), m.Cells())
+	}
+	if m.TotalX() != 2 {
+		t.Fatalf("TotalX = %d", m.TotalX())
+	}
+	if !m.Has(0, g.CellIndex(0, 1)) || !m.Has(0, g.CellIndex(1, 2)) {
+		t.Fatal("X locations wrong")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	m := New(3, 3)
+	m.Add(0, 0)
+	m.Add(2, 1)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Add(1, 1)
+	if m.Equal(c) {
+		t.Fatal("clone shares storage or Equal broken")
+	}
+	if m.Equal(New(3, 4)) || m.Equal(New(4, 3)) {
+		t.Fatal("Equal ignores dimensions")
+	}
+}
+
+// Property: TotalX equals the sum of per-pattern counts, and per-cell counts.
+func TestCountConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		np, nc := 1+r.Intn(20), 1+r.Intn(30)
+		m := New(np, nc)
+		n := r.Intn(100)
+		for i := 0; i < n; i++ {
+			m.Add(r.Intn(np), r.Intn(nc))
+		}
+		total := m.TotalX()
+		sumP := 0
+		for _, c := range m.PatternXCounts() {
+			sumP += c
+		}
+		sumC := 0
+		for _, c := range m.XCells() {
+			sumC += c.Count()
+		}
+		return total == sumP && total == sumC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: insertion order does not matter.
+func TestInsertionOrderIrrelevant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		np, nc := 1+r.Intn(10), 1+r.Intn(20)
+		type pc struct{ p, c int }
+		var adds []pc
+		n := r.Intn(60)
+		for i := 0; i < n; i++ {
+			adds = append(adds, pc{r.Intn(np), r.Intn(nc)})
+		}
+		a := New(np, nc)
+		for _, e := range adds {
+			a.Add(e.p, e.c)
+		}
+		b := New(np, nc)
+		perm := r.Perm(len(adds))
+		for _, i := range perm {
+			b.Add(adds[i].p, adds[i].c)
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

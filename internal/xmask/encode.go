@@ -1,0 +1,87 @@
+package xmask
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Mask-image compression (an extension beyond the paper): partition masks
+// are extremely sparse — a handful of set bits out of tens of thousands of
+// cells — so the raw chainLen*chains image the paper's accounting charges
+// per partition is compressible by orders of magnitude if the design adds
+// an on-chip decompressor in front of the mask registers. Two schemes are
+// modeled: delta-gap varint coding and a plain sparse index list.
+
+// EncodeGapVarint encodes a mask as the varint-coded gaps between
+// consecutive set cells (first gap from -1), preceded by a varint count.
+func EncodeGapVarint(m Mask) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	idx := m.Cells.Indices()
+	n := binary.PutUvarint(tmp[:], uint64(len(idx)))
+	buf = append(buf, tmp[:n]...)
+	prev := -1
+	for _, c := range idx {
+		n := binary.PutUvarint(tmp[:], uint64(c-prev))
+		buf = append(buf, tmp[:n]...)
+		prev = c
+	}
+	return buf
+}
+
+// DecodeGapVarint reverses EncodeGapVarint for a mask over numCells cells.
+func DecodeGapVarint(data []byte, numCells int) (Mask, error) {
+	m := NewMask(numCells)
+	count, k := binary.Uvarint(data)
+	if k <= 0 {
+		return Mask{}, fmt.Errorf("xmask: truncated mask header")
+	}
+	data = data[k:]
+	prev := -1
+	for i := uint64(0); i < count; i++ {
+		gap, k := binary.Uvarint(data)
+		if k <= 0 {
+			return Mask{}, fmt.Errorf("xmask: truncated mask body at index %d", i)
+		}
+		data = data[k:]
+		cell := prev + int(gap)
+		if cell < 0 || cell >= numCells {
+			return Mask{}, fmt.Errorf("xmask: decoded cell %d out of range", cell)
+		}
+		m.Cells.Set(cell)
+		prev = cell
+	}
+	return m, nil
+}
+
+// SparseIndexBits returns the control-bit volume of a plain sparse list:
+// a cell-count header plus ceil(log2(numCells)) bits per masked cell.
+func SparseIndexBits(m Mask, numCells int) int {
+	w := bits.Len(uint(numCells - 1))
+	if numCells <= 1 {
+		w = 1
+	}
+	return w + w*m.Cells.PopCount()
+}
+
+// EncodingComparison reports the raw vs compressed volume of a mask set.
+type EncodingComparison struct {
+	// RawBits is the paper's accounting: numCells per mask.
+	RawBits int
+	// GapVarintBits is 8 * len(EncodeGapVarint(...)) summed over masks.
+	GapVarintBits int
+	// SparseIndexBits is the sparse-list volume summed over masks.
+	SparseIndexBits int
+}
+
+// CompareEncodings sizes a set of partition masks under each encoding.
+func CompareEncodings(masks []Mask, numCells int) EncodingComparison {
+	var c EncodingComparison
+	for _, m := range masks {
+		c.RawBits += numCells
+		c.GapVarintBits += 8 * len(EncodeGapVarint(m))
+		c.SparseIndexBits += SparseIndexBits(m, numCells)
+	}
+	return c
+}

@@ -1,0 +1,90 @@
+package xmask
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGapVarintRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5000)
+		m := NewMask(n)
+		for i := 0; i < r.Intn(40); i++ {
+			m.Cells.Set(r.Intn(n))
+		}
+		enc := EncodeGapVarint(m)
+		dec, err := DecodeGapVarint(enc, n)
+		if err != nil {
+			return false
+		}
+		return dec.Cells.Equal(m.Cells)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapVarintEmptyMask(t *testing.T) {
+	m := NewMask(100)
+	enc := EncodeGapVarint(m)
+	if len(enc) != 1 {
+		t.Fatalf("empty mask encodes to %d bytes, want 1", len(enc))
+	}
+	dec, err := DecodeGapVarint(enc, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Cells.PopCount() != 0 {
+		t.Fatal("decoded bits from empty mask")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeGapVarint(nil, 10); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	// Header says 3 entries but body is empty.
+	if _, err := DecodeGapVarint([]byte{3}, 10); err == nil {
+		t.Fatal("accepted truncated body")
+	}
+	// Gap walks past numCells.
+	if _, err := DecodeGapVarint([]byte{1, 200}, 10); err == nil {
+		t.Fatal("accepted out-of-range cell")
+	}
+}
+
+func TestSparseIndexBits(t *testing.T) {
+	m := NewMask(1024) // 10-bit indices
+	m.Cells.Set(5)
+	m.Cells.Set(900)
+	if got := SparseIndexBits(m, 1024); got != 10+2*10 {
+		t.Fatalf("SparseIndexBits = %d, want 30", got)
+	}
+	if got := SparseIndexBits(NewMask(1), 1); got != 1 {
+		t.Fatalf("degenerate = %d", got)
+	}
+}
+
+func TestCompareEncodingsSparseMasksCompressWell(t *testing.T) {
+	n := 36075 // CKT-B cell count
+	masks := make([]Mask, 7)
+	r := rand.New(rand.NewSource(3))
+	for i := range masks {
+		masks[i] = NewMask(n)
+		for j := 0; j < 700; j++ { // cluster-sized masks
+			masks[i].Cells.Set(r.Intn(n))
+		}
+	}
+	c := CompareEncodings(masks, n)
+	if c.RawBits != 7*n {
+		t.Fatalf("RawBits = %d", c.RawBits)
+	}
+	if c.GapVarintBits >= c.RawBits/4 {
+		t.Fatalf("gap varint %d not <4x smaller than raw %d", c.GapVarintBits, c.RawBits)
+	}
+	if c.SparseIndexBits >= c.RawBits {
+		t.Fatalf("sparse index %d not smaller than raw %d", c.SparseIndexBits, c.RawBits)
+	}
+}

@@ -1,0 +1,58 @@
+package xhybrid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonXLoc is the on-disk form of an X-location map: per X-capturing cell,
+// the list of patterns producing an X there.
+type jsonXLoc struct {
+	Chains   int         `json:"chains"`
+	ChainLen int         `json:"chainLen"`
+	Patterns int         `json:"patterns"`
+	Cells    []jsonXCell `json:"cells"`
+}
+
+type jsonXCell struct {
+	Cell     int   `json:"cell"`
+	Patterns []int `json:"p"`
+}
+
+// WriteJSON serializes the X locations.
+func (x *XLocations) WriteJSON(w io.Writer) error {
+	out := jsonXLoc{
+		Chains:   x.geom.Chains,
+		ChainLen: x.geom.ChainLen,
+		Patterns: x.m.Patterns(),
+	}
+	for _, c := range x.m.XCells() {
+		out.Cells = append(out.Cells, jsonXCell{Cell: c.Cell, Patterns: c.Patterns.Indices()})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// ReadXLocations parses a serialized X-location map.
+func ReadXLocations(r io.Reader) (*XLocations, error) {
+	var in jsonXLoc
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("xhybrid: decode: %w", err)
+	}
+	x, err := NewXLocations(in.Chains, in.ChainLen, in.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range in.Cells {
+		if c.Cell < 0 || c.Cell >= x.Cells() {
+			return nil, fmt.Errorf("xhybrid: cell %d out of range", c.Cell)
+		}
+		chain, pos := c.Cell/in.ChainLen, c.Cell%in.ChainLen
+		for _, p := range c.Patterns {
+			if err := x.AddX(p, chain, pos); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return x, nil
+}

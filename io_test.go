@@ -1,0 +1,46 @@
+package xhybrid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestXLocationsJSONRoundTrip(t *testing.T) {
+	x := PaperExample()
+	var buf bytes.Buffer
+	if err := x.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadXLocations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.TotalX() != x.TotalX() || y.Patterns() != x.Patterns() || y.Cells() != x.Cells() {
+		t.Fatal("round trip lost data")
+	}
+	for p := 0; p < 8; p++ {
+		for c := 0; c < 5; c++ {
+			for pos := 0; pos < 3; pos++ {
+				if x.HasX(p, c, pos) != y.HasX(p, c, pos) {
+					t.Fatalf("X mismatch at p=%d cell=(%d,%d)", p, c, pos)
+				}
+			}
+		}
+	}
+}
+
+func TestReadXLocationsErrors(t *testing.T) {
+	if _, err := ReadXLocations(strings.NewReader("{bad")); err == nil {
+		t.Fatal("accepted bad json")
+	}
+	if _, err := ReadXLocations(strings.NewReader(`{"chains":0,"chainLen":1,"patterns":1}`)); err == nil {
+		t.Fatal("accepted bad geometry")
+	}
+	if _, err := ReadXLocations(strings.NewReader(`{"chains":1,"chainLen":1,"patterns":1,"cells":[{"cell":5,"p":[0]}]}`)); err == nil {
+		t.Fatal("accepted out-of-range cell")
+	}
+	if _, err := ReadXLocations(strings.NewReader(`{"chains":1,"chainLen":1,"patterns":1,"cells":[{"cell":0,"p":[9]}]}`)); err == nil {
+		t.Fatal("accepted out-of-range pattern")
+	}
+}

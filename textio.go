@@ -1,0 +1,99 @@
+package xhybrid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text interchange format is a line-based record of X locations, easy
+// to produce from ATPG log post-processing:
+//
+//	# comments and blank lines are ignored
+//	design <chains> <chainLen> <patterns>
+//	x <pattern> <chain> <pos>
+//	xr <pattern> <chain> <posFrom> <posTo>   # inclusive run
+//
+// All indices are 0-based. The design line must come first.
+
+// WriteText serializes the X locations in the text format.
+func (x *XLocations) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# xhybrid X-location map\n")
+	fmt.Fprintf(bw, "design %d %d %d\n", x.geom.Chains, x.geom.ChainLen, x.m.Patterns())
+	for _, c := range x.m.XCells() {
+		chain, pos := x.geom.CellCoord(c.Cell)
+		c.Patterns.ForEach(func(p int) {
+			fmt.Fprintf(bw, "x %d %d %d\n", p, chain, pos)
+		})
+	}
+	return bw.Flush()
+}
+
+// ReadXLocationsText parses the text format.
+func ReadXLocationsText(r io.Reader) (*XLocations, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var x *XLocations
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "design":
+			if x != nil {
+				return nil, fmt.Errorf("xhybrid: line %d: duplicate design line", lineNo)
+			}
+			var chains, chainLen, patterns int
+			if _, err := fmt.Sscanf(line, "design %d %d %d", &chains, &chainLen, &patterns); err != nil {
+				return nil, fmt.Errorf("xhybrid: line %d: bad design line: %w", lineNo, err)
+			}
+			var err error
+			x, err = NewXLocations(chains, chainLen, patterns)
+			if err != nil {
+				return nil, fmt.Errorf("xhybrid: line %d: %w", lineNo, err)
+			}
+		case "x":
+			if x == nil {
+				return nil, fmt.Errorf("xhybrid: line %d: x before design", lineNo)
+			}
+			var p, chain, pos int
+			if _, err := fmt.Sscanf(line, "x %d %d %d", &p, &chain, &pos); err != nil {
+				return nil, fmt.Errorf("xhybrid: line %d: bad x line: %w", lineNo, err)
+			}
+			if err := x.AddX(p, chain, pos); err != nil {
+				return nil, fmt.Errorf("xhybrid: line %d: %w", lineNo, err)
+			}
+		case "xr":
+			if x == nil {
+				return nil, fmt.Errorf("xhybrid: line %d: xr before design", lineNo)
+			}
+			var p, chain, from, to int
+			if _, err := fmt.Sscanf(line, "xr %d %d %d %d", &p, &chain, &from, &to); err != nil {
+				return nil, fmt.Errorf("xhybrid: line %d: bad xr line: %w", lineNo, err)
+			}
+			if to < from {
+				return nil, fmt.Errorf("xhybrid: line %d: xr run reversed", lineNo)
+			}
+			for pos := from; pos <= to; pos++ {
+				if err := x.AddX(p, chain, pos); err != nil {
+					return nil, fmt.Errorf("xhybrid: line %d: %w", lineNo, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("xhybrid: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if x == nil {
+		return nil, fmt.Errorf("xhybrid: no design line found")
+	}
+	return x, nil
+}

@@ -1,0 +1,72 @@
+package xhybrid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	x := PaperExample()
+	var buf bytes.Buffer
+	if err := x.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadXLocationsText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.TotalX() != 28 || y.Patterns() != 8 || y.Cells() != 15 {
+		t.Fatalf("round trip lost data: %d X's", y.TotalX())
+	}
+	for p := 0; p < 8; p++ {
+		for c := 0; c < 5; c++ {
+			for pos := 0; pos < 3; pos++ {
+				if x.HasX(p, c, pos) != y.HasX(p, c, pos) {
+					t.Fatalf("mismatch at (%d,%d,%d)", p, c, pos)
+				}
+			}
+		}
+	}
+}
+
+func TestTextRunsAndComments(t *testing.T) {
+	in := `
+# header comment
+design 2 4 3
+
+x 0 1 2
+xr 1 0 1 3
+`
+	x, err := ReadXLocationsText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.TotalX() != 4 {
+		t.Fatalf("TotalX = %d, want 4", x.TotalX())
+	}
+	if !x.HasX(0, 1, 2) || !x.HasX(1, 0, 1) || !x.HasX(1, 0, 2) || !x.HasX(1, 0, 3) {
+		t.Fatal("X positions wrong")
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"x 0 0 0",                    // x before design
+		"xr 0 0 0 1",                 // xr before design
+		"design 0 1 1",               // bad geometry
+		"design 1 1 1\ndesign 1 1 1", // duplicate design
+		"design 1 1 1\nx 5 0 0",      // pattern out of range
+		"design 1 1 1\nx zero 0 0",   // unparsable
+		"design 1 1 1\nxr 0 0 3 1",   // reversed run
+		"design 1 1 1\nxr 0 0 0 5",   // run out of range
+		"design 1 1 1\nunknown 1",    // unknown record
+		"# only comments",            // no design at all
+		"design 2 2 2\nx 0 0",        // too few fields
+	}
+	for i, in := range cases {
+		if _, err := ReadXLocationsText(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, in)
+		}
+	}
+}
