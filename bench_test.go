@@ -184,6 +184,82 @@ func BenchmarkQSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionWorkers compares serial (workers=1) and fully parallel
+// (workers=0, all CPUs) partitioning over the synthetic workloads. The
+// plans are identical; the delta is the parallel execution layer's speedup,
+// recorded per PR by the CI bench job.
+func BenchmarkPartitionWorkers(b *testing.B) {
+	for _, base := range workload.Profiles() {
+		prof := workload.Scaled(base, 4)
+		m, err := prof.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 0} {
+			w := w
+			name := fmt.Sprintf("%s/workers=%d", base.Name, w)
+			b.Run(name, func(b *testing.B) {
+				p := table1Params(prof.Geometry())
+				p.Workers = w
+				var bits int
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(m, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bits = res.TotalBits
+				}
+				b.ReportMetric(float64(bits), "total-bits")
+			})
+		}
+	}
+}
+
+// BenchmarkXCancelPartitioned measures per-partition X-canceling sessions
+// (independent symbolic MISRs + Gaussian eliminations) serial vs parallel.
+func BenchmarkXCancelPartitioned(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	g := scan.MustGeometry(16, 64)
+	var sets []*scan.ResponseSet
+	for part := 0; part < 8; part++ {
+		set := scan.NewResponseSet(g)
+		for p := 0; p < 6; p++ {
+			resp := scan.NewResponse(g)
+			for c := 0; c < g.Chains; c++ {
+				for t := 0; t < g.ChainLen; t++ {
+					switch {
+					case r.Float64() < 0.02:
+						resp.Set(c, t, logic.X)
+					case r.Intn(2) == 1:
+						resp.Set(c, t, logic.One)
+					default:
+						resp.Set(c, t, logic.Zero)
+					}
+				}
+			}
+			if err := set.Append(resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sets = append(sets, set)
+	}
+	cfg := xcancel.Config{MISR: misr.MustStandard(16), Q: 3}
+	for _, w := range []int{1, 0} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var halts int
+			for i := 0; i < b.N; i++ {
+				res, err := xcancel.RunPartitioned(cfg, sets, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				halts = res.Halts
+			}
+			b.ReportMetric(float64(halts), "halts")
+		})
+	}
+}
+
 // BenchmarkWorkloadGeneration measures the synthetic X-map generators.
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	for _, prof := range workload.Profiles() {

@@ -25,7 +25,9 @@ func main() {
 	ablation := flag.String("ablation", "", "run an ablation: strategies, rounding, granularity, shadow, qsweep, correlation, superset, encoding, ordering, aliasing, compressedcost or all")
 	scale := flag.Int("scale", 1, "shrink the industrial workloads by this factor")
 	seeds := flag.Int("seeds", 0, "with -table 1: also print a robustness sweep over this many workload seeds")
+	workers := flag.Int("workers", 0, "worker goroutines for the partitioning hot loops (0 = all CPUs)")
 	flag.Parse()
+	numWorkers = *workers
 
 	ran := false
 	fail := func(err error) {

@@ -22,11 +22,16 @@ var paperTable1 = map[string]struct {
 	"CKT-C": {292.93, 62.22, 41.13, 7.12, 1.51, 2.35, 1.88, 1.25},
 }
 
+// numWorkers is the -workers flag: the goroutine budget for the
+// partitioning hot loops (0 = all CPUs). Results are identical either way.
+var numWorkers int
+
 // table1Params returns the paper's hybrid configuration: 32-bit MISR, q=7.
 func table1Params(p workload.Profile) core.Params {
 	return core.Params{
-		Geom:   p.Geometry(),
-		Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+		Geom:    p.Geometry(),
+		Cancel:  xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+		Workers: numWorkers,
 	}
 }
 

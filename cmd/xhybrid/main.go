@@ -6,7 +6,7 @@
 //
 //	xhybrid analyze   (-workload ckt-b | -in xmap.json) [-seed N]
 //	xhybrid partition (-workload ckt-b | -in xmap.json) [-m 32] [-q 7]
-//	                  [-strategy paper|paper-random|greedy] [-v]
+//	                  [-strategy paper|paper-random|greedy] [-workers N] [-v]
 //	xhybrid example   # the paper's Figure 4-6 worked example
 //	xhybrid verify    [-cells N] [-patterns K] [-m 16] [-q 3] [-seed S]
 //	                  # build a circuit, simulate it, program the hybrid and
@@ -42,6 +42,7 @@ func main() {
 	misrSize := fs.Int("m", 32, "X-canceling MISR size")
 	q := fs.Int("q", 7, "X-free combinations per halt")
 	strategy := fs.String("strategy", "paper", "split strategy: paper, paper-random or greedy")
+	workers := fs.Int("workers", 0, "worker goroutines for the partitioning hot loops (0 = all CPUs)")
 	verbose := fs.Bool("v", false, "print the per-round trace and partitions")
 
 	switch cmd {
@@ -57,7 +58,7 @@ func main() {
 			analyze(x)
 			return
 		}
-		partition(x, xhybrid.Options{MISRSize: *misrSize, Q: *q, Strategy: *strategy, Seed: *seed}, *verbose)
+		partition(x, xhybrid.Options{MISRSize: *misrSize, Q: *q, Strategy: *strategy, Seed: *seed, Workers: *workers}, *verbose)
 	case "example":
 		partition(xhybrid.PaperExample(), xhybrid.Options{MISRSize: 10, Q: 2}, true)
 	case "verify":
@@ -66,7 +67,7 @@ func main() {
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		verify(*cells, *patterns, *misrSize, *q, *seed)
+		verify(*cells, *patterns, *misrSize, *q, *seed, *workers)
 	case "report":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
@@ -75,7 +76,7 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		reportMD(x, xhybrid.Options{MISRSize: *misrSize, Q: *q, Strategy: *strategy, Seed: *seed})
+		reportMD(x, xhybrid.Options{MISRSize: *misrSize, Q: *q, Strategy: *strategy, Seed: *seed, Workers: *workers})
 	default:
 		usage()
 	}
@@ -137,7 +138,7 @@ func orZero(v, d int) int {
 
 // verify builds a generated circuit, simulates it, assembles the hybrid
 // program and replays the responses through the hardware models.
-func verify(cells, patterns, m, q int, seed int64) {
+func verify(cells, patterns, m, q int, seed int64, workers int) {
 	if m > 16 {
 		// The demo uses 16 chains; the compactor cannot spread them over a
 		// wider MISR, so clamp to a 16-bit register.
@@ -164,8 +165,9 @@ func verify(cells, patterns, m, q int, seed int64) {
 		die(err)
 	}
 	prog, err := flow.Build(xm, core.Params{
-		Geom:   geom,
-		Cancel: xcancel.Config{MISR: cfg, Q: q},
+		Geom:    geom,
+		Cancel:  xcancel.Config{MISR: cfg, Q: q},
+		Workers: workers,
 	}, tester.Config{Channels: 32, OverlapMaskLoad: true})
 	if err != nil {
 		die(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"xhybrid/internal/gf2"
@@ -32,6 +33,37 @@ func BenchmarkRunCKTBQuarter(b *testing.B) {
 		if _, err := Run(m, p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunWorkers sweeps the worker count on the half-scale CKT-B
+// workload: the serial (workers=1) vs parallel trajectory of the
+// partitioning engine. Results are identical across the sweep; only the
+// wall clock moves.
+func BenchmarkRunWorkers(b *testing.B) {
+	prof := workload.Scaled(workload.CKTB(), 2)
+	m, err := prof.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := Params{
+				Geom:    prof.Geometry(),
+				Cancel:  xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+				Workers: w,
+			}
+			var bits int
+			for i := 0; i < b.N; i++ {
+				res, err := Run(m, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bits = res.TotalBits
+			}
+			b.ReportMetric(float64(bits), "total-bits")
+		})
 	}
 }
 

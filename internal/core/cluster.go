@@ -26,12 +26,13 @@ func RunClustered(m *xmap.XMap, params Params) (*Result, error) {
 		return nil, err
 	}
 	if m.Cells() != params.Geom.Cells() {
-		return nil, fmt.Errorf("core: X-map has %d cells, geometry has %d", m.Cells(), params.Geom.Cells())
+		return nil, fmt.Errorf("%w: X-map has %d cells, geometry has %d", ErrGeometryMismatch, m.Cells(), params.Geom.Cells())
 	}
 	if m.Patterns() == 0 {
-		return nil, fmt.Errorf("core: empty pattern set")
+		return nil, ErrEmptyPatterns
 	}
-	e := &evaluator{m: m, params: params, totalX: m.TotalX()}
+	e := newEvaluator(m, params)
+	defer e.pool.Close()
 
 	mSize, q := params.Cancel.MISR.Size, params.Cancel.Q
 	cancelPerX := float64(mSize*q) / float64(mSize-q)

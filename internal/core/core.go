@@ -14,13 +14,26 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 
 	"xhybrid/internal/gf2"
+	"xhybrid/internal/pool"
 	"xhybrid/internal/scan"
 	"xhybrid/internal/xcancel"
 	"xhybrid/internal/xmap"
 	"xhybrid/internal/xmask"
+)
+
+// Sentinel errors returned (wrapped) by Run, RunClustered and Evaluate;
+// match with errors.Is.
+var (
+	// ErrGeometryMismatch reports an X-map whose cell count differs from
+	// Params.Geom.
+	ErrGeometryMismatch = errors.New("core: X-map geometry mismatch")
+	// ErrEmptyPatterns reports an X-map with no test patterns.
+	ErrEmptyPatterns = errors.New("core: empty pattern set")
 )
 
 // Strategy selects how the partitioner chooses the next split.
@@ -90,6 +103,19 @@ type Params struct {
 	// mask delivery (see internal/xmask encoders) and shift the cost
 	// optimum toward more partitions.
 	MaskBitsPerPartition int
+	// Workers bounds the goroutines that score candidate splits and
+	// recompute per-partition masked-X counts; 0 means
+	// runtime.GOMAXPROCS(0). Every parallel reduction is deterministic, so
+	// results are byte-identical for any worker count.
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // maskImageBits returns the control-bit price of one partition mask.
@@ -128,6 +154,9 @@ func (p Params) Validate() error {
 	}
 	if p.MaskBitsPerPartition < 0 {
 		return fmt.Errorf("core: negative MaskBitsPerPartition")
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: negative Workers")
 	}
 	return nil
 }
@@ -190,26 +219,43 @@ type Result struct {
 	TotalBits int
 }
 
-// evaluator carries the shared state of one partitioning run.
+// evaluator carries the shared state of one partitioning run. Its pool fans
+// the per-cell and per-candidate loops out over Params.Workers goroutines;
+// every reduction is deterministic, so the evaluator produces identical
+// results for any worker count.
 type evaluator struct {
 	m      *xmap.XMap
 	params Params
 	totalX int
+	pool   *pool.Pool
+}
+
+// newEvaluator builds the run state; the caller must Close the evaluator's
+// pool when done.
+func newEvaluator(m *xmap.XMap, params Params) *evaluator {
+	return &evaluator{
+		m:      m,
+		params: params,
+		totalX: m.TotalX(),
+		pool:   pool.New(params.workers()),
+	}
 }
 
 // maskedXIn returns how many X's a shared mask removes in the partition.
+// The per-cell membership tests fan out over the pool; the integer sum is
+// order-independent.
 func (e *evaluator) maskedXIn(part gf2.Vec) int {
 	size := part.PopCount()
 	if size == 0 {
 		return 0
 	}
-	masked := 0
-	for _, c := range e.m.XCells() {
-		if c.Patterns.PopCountAnd(part) == size {
-			masked += size
+	cells := e.m.XCells()
+	return e.pool.SumInt(len(cells), func(i int) int {
+		if cells[i].Patterns.PopCountAnd(part) == size {
+			return size
 		}
-	}
-	return masked
+		return 0
+	})
 }
 
 // maskCellsIn returns how many cells the shared mask covers.
@@ -218,13 +264,13 @@ func (e *evaluator) maskCellsIn(part gf2.Vec) int {
 	if size == 0 {
 		return 0
 	}
-	n := 0
-	for _, c := range e.m.XCells() {
-		if c.Patterns.PopCountAnd(part) == size {
-			n++
+	cells := e.m.XCells()
+	return e.pool.SumInt(len(cells), func(i int) int {
+		if cells[i].Patterns.PopCountAnd(part) == size {
+			return 1
 		}
-	}
-	return n
+		return 0
+	})
 }
 
 // cost returns the paper's total-control-bit cost for a partition list given

@@ -23,17 +23,22 @@ type split struct {
 // Run executes the partitioning algorithm on the X-map of a pattern set and
 // returns the full hybrid accounting. The X-map dimensions must match the
 // geometry (Cells) — patterns are taken from the map.
+//
+// The hot loops (candidate scoring, masked-X recomputation) fan out over
+// Params.Workers goroutines with deterministic reductions: the result is
+// byte-identical for any worker count.
 func Run(m *xmap.XMap, params Params) (*Result, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	if m.Cells() != params.Geom.Cells() {
-		return nil, fmt.Errorf("core: X-map has %d cells, geometry has %d", m.Cells(), params.Geom.Cells())
+		return nil, fmt.Errorf("%w: X-map has %d cells, geometry has %d", ErrGeometryMismatch, m.Cells(), params.Geom.Cells())
 	}
 	if m.Patterns() == 0 {
-		return nil, fmt.Errorf("core: empty pattern set")
+		return nil, ErrEmptyPatterns
 	}
-	e := &evaluator{m: m, params: params, totalX: m.TotalX()}
+	e := newEvaluator(m, params)
+	defer e.pool.Close()
 	rng := rand.New(rand.NewSource(params.Seed))
 
 	// Start with a single partition holding every pattern.
@@ -96,17 +101,29 @@ outer:
 	return e.finalize(parts, rounds), nil
 }
 
+// groupsPerPartition computes each partition's candidate groups, fanning
+// the partitions out over the pool (and the per-cell X counting of each
+// partition over idle workers). The result is indexed by partition, so the
+// fan-out order cannot leak into the selection.
+func (e *evaluator) groupsPerPartition(parts []gf2.Vec) [][]correlation.Group {
+	groups := make([][]correlation.Group, len(parts))
+	e.pool.ForEach(len(parts), func(i int) {
+		if parts[i].PopCount() < 2 {
+			return
+		}
+		groups[i] = correlation.GroupsWithinPool(e.m, parts[i], e.pool)
+	})
+	return groups
+}
+
 // selectPaperList returns up to budget candidates in Algorithm 1 preference
 // order (largest group first, ties by count, partition, cell) — the retry
 // strategy walks this list past cost rejections.
 func (e *evaluator) selectPaperList(parts []gf2.Vec, budget int) []split {
 	var all []split
-	for i, p := range parts {
-		size := p.PopCount()
-		if size < 2 {
-			continue
-		}
-		for _, g := range correlation.GroupsWithin(e.m, p) {
+	for i, groups := range e.groupsPerPartition(parts) {
+		size := parts[i].PopCount()
+		for _, g := range groups {
 			if g.Count >= size || g.Size() < 2 {
 				continue
 			}
@@ -139,16 +156,16 @@ func (e *evaluator) selectPaperList(parts []gf2.Vec, budget int) []split {
 // selectPaper implements Algorithm 1's choice: the largest in-partition
 // equal-count group with at least two member cells, splitting on its first
 // (or a random) member. Ties prefer higher X counts, then earlier
-// partitions.
+// partitions. The per-partition group analysis runs in parallel; the
+// cross-partition reduce below walks the partitions in index order, so the
+// choice (and the single rng draw for the random variant) is identical to a
+// serial scan.
 func (e *evaluator) selectPaper(parts []gf2.Vec, random bool, rng *rand.Rand) *split {
 	var best *split
 	var bestGroup correlation.Group
-	for i, p := range parts {
-		size := p.PopCount()
-		if size < 2 {
-			continue
-		}
-		for _, g := range correlation.GroupsWithin(e.m, p) {
+	for i, groups := range e.groupsPerPartition(parts) {
+		size := parts[i].PopCount()
+		for _, g := range groups {
 			if g.Count >= size || g.Size() < 2 {
 				// Fully-X cells can't split; singleton groups are not a
 				// "largest number of scan cells having the same number of
@@ -182,21 +199,23 @@ func (e *evaluator) selectPaper(parts []gf2.Vec, random bool, rng *rand.Rand) *s
 }
 
 // selectGreedy evaluates the cost delta of every distinct candidate split
-// and returns the best strictly improving one, or nil.
+// and returns the best strictly improving one, or nil. Candidate collection
+// fans out per partition and cost scoring per candidate; the reduce takes
+// the lowest cost at the earliest position in the serial enumeration order
+// (partition index, then gain-sorted candidate rank), so the pick matches a
+// serial scan exactly.
 func (e *evaluator) selectGreedy(parts []gf2.Vec, maskedX []int, cost int) *split {
 	cap := e.params.GreedyCandidateCap
 	if cap <= 0 {
 		cap = 256
 	}
-	type scored struct {
-		s    split
-		cost int
-	}
-	var best *scored
-	for i, p := range parts {
+	// Collect each partition's deduplicated candidates in parallel.
+	perPart := make([][]split, len(parts))
+	e.pool.ForEach(len(parts), func(i int) {
+		p := parts[i]
 		size := p.PopCount()
 		if size < 2 {
-			continue
+			return
 		}
 		// Deduplicate candidates by in-partition signature: cells with the
 		// same X patterns inside p produce identical splits. Track each
@@ -229,18 +248,35 @@ func (e *evaluator) selectGreedy(parts []gf2.Vec, maskedX []int, cost int) *spli
 		if len(cands) > cap {
 			cands = cands[:cap]
 		}
-		for _, ca := range cands {
-			np, nm := e.applySplit(parts, maskedX, ca.s)
-			c := e.cost(np, nm)
-			if best == nil || c < best.cost {
-				best = &scored{s: ca.s, cost: c}
-			}
+		out := make([]split, len(cands))
+		for k, ca := range cands {
+			out[k] = ca.s
 		}
+		perPart[i] = out
+	})
+	var all []split
+	for _, cands := range perPart {
+		all = append(all, cands...)
 	}
-	if best == nil || best.cost >= cost {
+	if len(all) == 0 {
 		return nil
 	}
-	return &best.s
+	// Score every candidate concurrently, then reduce by (cost, position).
+	costs := make([]int, len(all))
+	e.pool.ForEach(len(all), func(k int) {
+		np, nm := e.applySplit(parts, maskedX, all[k])
+		costs[k] = e.cost(np, nm)
+	})
+	bestIdx := 0
+	for k := 1; k < len(all); k++ {
+		if costs[k] < costs[bestIdx] {
+			bestIdx = k
+		}
+	}
+	if costs[bestIdx] >= cost {
+		return nil
+	}
+	return &all[bestIdx]
 }
 
 // applySplit returns the partition list and masked-X cache after splitting

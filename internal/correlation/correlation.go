@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"xhybrid/internal/gf2"
+	"xhybrid/internal/pool"
 	"xhybrid/internal/xmap"
 )
 
@@ -55,11 +56,28 @@ func Analyze(m *xmap.XMap) *Analysis {
 // omitted. Groups are sorted by size descending, ties by count descending;
 // member cells ascend.
 func GroupsWithin(m *xmap.XMap, part gf2.Vec) []Group {
+	return GroupsWithinPool(m, part, nil)
+}
+
+// GroupsWithinPool is GroupsWithin with the per-cell X counting — the
+// dominant cost at industrial scale — fanned out over pl (nil runs
+// serially). Counts land in a cell-indexed slice and the grouping pass is
+// serial, so the result is identical for any worker count.
+func GroupsWithinPool(m *xmap.XMap, part gf2.Vec, pl *pool.Pool) []Group {
+	cells := m.XCells()
+	counts := make([]int, len(cells))
+	count := func(i int) { counts[i] = cells[i].Patterns.PopCountAnd(part) }
+	if pl != nil {
+		pl.ForEach(len(cells), count)
+	} else {
+		for i := range cells {
+			count(i)
+		}
+	}
 	byCount := make(map[int][]int)
-	for _, c := range m.XCells() {
-		n := c.Patterns.PopCountAnd(part)
-		if n > 0 {
-			byCount[n] = append(byCount[n], c.Cell)
+	for i, c := range cells {
+		if counts[i] > 0 {
+			byCount[counts[i]] = append(byCount[counts[i]], c.Cell)
 		}
 	}
 	groups := make([]Group, 0, len(byCount))

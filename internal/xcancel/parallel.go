@@ -1,0 +1,98 @@
+package xcancel
+
+import (
+	"fmt"
+
+	"xhybrid/internal/pool"
+	"xhybrid/internal/scan"
+)
+
+// PartitionedResult is the outcome of running each pattern partition
+// through its own X-canceling session (see RunPartitioned).
+type PartitionedResult struct {
+	// PerPartition holds one session Result per input response set, in
+	// input order.
+	PerPartition []Result
+	// TotalX, ShiftCycles, HaltCycles and ControlBits sum the sessions.
+	TotalX      int
+	ShiftCycles int
+	HaltCycles  int
+	ControlBits int
+	// Halts is the total halt count across sessions.
+	Halts int
+}
+
+// NormalizedTime returns (shift + halt cycles) / shift cycles over all
+// sessions.
+func (r PartitionedResult) NormalizedTime() float64 {
+	if r.ShiftCycles == 0 {
+		return 1
+	}
+	return float64(r.ShiftCycles+r.HaltCycles) / float64(r.ShiftCycles)
+}
+
+// RunPartitioned shifts each partition's response set through its own
+// canceler, fanning the sessions out over workers goroutines (<= 0 selects
+// all CPUs). Once the partition masks are fixed the partitions' X streams
+// are independent, and the MISR is reset at every halt anyway, so per-
+// partition sessions are hardware-equivalent to a serial pass with a final
+// halt at each partition boundary. The symbolic MISR tracking and the
+// Gaussian elimination at every halt — the expensive part — run fully in
+// parallel; results are collected in partition order, so the outcome is
+// deterministic for any worker count.
+func RunPartitioned(cfg Config, sets []*scan.ResponseSet, workers int) (*PartitionedResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := &PartitionedResult{PerPartition: make([]Result, len(sets))}
+	errs := make([]error, len(sets))
+	pl := pool.New(workers)
+	defer pl.Close()
+	pl.ForEach(len(sets), func(i int) {
+		res, err := RunResponses(cfg, sets[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("xcancel: partition %d: %w", i, err)
+			return
+		}
+		out.PerPartition[i] = res
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, res := range out.PerPartition {
+		out.TotalX += res.TotalX
+		out.ShiftCycles += res.ShiftCycles
+		out.HaltCycles += res.HaltCycles
+		out.ControlBits += res.ControlBits
+		out.Halts += len(res.Halts)
+	}
+	return out, nil
+}
+
+// SplitByPartition materializes one response set per partition: partitions[i]
+// selects (by pattern index) the responses of set that belong to session i.
+// The returned sets share the underlying responses; treat them as read-only.
+func SplitByPartition(set *scan.ResponseSet, partitions []PatternSet) ([]*scan.ResponseSet, error) {
+	out := make([]*scan.ResponseSet, len(partitions))
+	for i, part := range partitions {
+		sub := scan.NewResponseSet(set.Geom)
+		for _, p := range part.Indices() {
+			if p < 0 || p >= set.Patterns() {
+				return nil, fmt.Errorf("xcancel: partition %d selects pattern %d of %d", i, p, set.Patterns())
+			}
+			if err := sub.Append(set.Responses[p]); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = sub
+	}
+	return out, nil
+}
+
+// PatternSet is the minimal view of a partition's membership that
+// SplitByPartition needs (satisfied by gf2.Vec).
+type PatternSet interface {
+	Indices() []int
+}

@@ -1,0 +1,124 @@
+package xcancel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/scan"
+)
+
+// randSet builds a response set with the given pattern count and X density.
+func randSet(t *testing.T, g scan.Geometry, patterns int, xDensity float64, seed int64) *scan.ResponseSet {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	set := scan.NewResponseSet(g)
+	for p := 0; p < patterns; p++ {
+		resp := scan.NewResponse(g)
+		for c := 0; c < g.Chains; c++ {
+			for pos := 0; pos < g.ChainLen; pos++ {
+				switch {
+				case r.Float64() < xDensity:
+					resp.Set(c, pos, logic.X)
+				case r.Intn(2) == 1:
+					resp.Set(c, pos, logic.One)
+				default:
+					resp.Set(c, pos, logic.Zero)
+				}
+			}
+		}
+		if err := set.Append(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return set
+}
+
+// RunPartitioned must equal a serial per-partition loop, for any worker
+// count, session by session.
+func TestRunPartitionedMatchesSerial(t *testing.T) {
+	g := scan.MustGeometry(16, 32)
+	cfg := Config{MISR: misr.MustStandard(16), Q: 3}
+	var sets []*scan.ResponseSet
+	for i := 0; i < 5; i++ {
+		sets = append(sets, randSet(t, g, 4+i, 0.03, int64(i+1)))
+	}
+	var want []Result
+	for _, s := range sets {
+		res, err := RunResponses(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := RunPartitioned(cfg, sets, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got.PerPartition, want) {
+			t.Fatalf("workers=%d: per-partition results differ from serial", workers)
+		}
+		wantX := 0
+		for _, r := range want {
+			wantX += r.TotalX
+		}
+		if got.TotalX != wantX {
+			t.Fatalf("workers=%d: TotalX = %d, want %d", workers, got.TotalX, wantX)
+		}
+		if got.NormalizedTime() < 1 {
+			t.Fatalf("workers=%d: normalized time %f < 1", workers, got.NormalizedTime())
+		}
+	}
+}
+
+func TestRunPartitionedPropagatesErrors(t *testing.T) {
+	cfg := Config{MISR: misr.MustStandard(16), Q: 3}
+	bad := scan.NewResponseSet(scan.MustGeometry(8, 4)) // 8 chains != 16-input MISR
+	if _, err := RunPartitioned(cfg, []*scan.ResponseSet{bad}, 2); err == nil {
+		t.Fatal("accepted mismatched geometry")
+	}
+	cfg.Q = 0 // invalid
+	if _, err := RunPartitioned(cfg, nil, 2); err == nil {
+		t.Fatal("accepted invalid config")
+	}
+}
+
+func TestSplitByPartition(t *testing.T) {
+	g := scan.MustGeometry(16, 8)
+	set := randSet(t, g, 10, 0.05, 7)
+	parts := []PatternSet{
+		gf2.FromIndices(10, 0, 3, 4),
+		gf2.FromIndices(10, 1, 2, 5, 6, 7, 8, 9),
+	}
+	subs, err := SplitByPartition(set, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subs[0].Patterns() != 3 || subs[1].Patterns() != 7 {
+		t.Fatalf("partition sizes = %d/%d, want 3/7", subs[0].Patterns(), subs[1].Patterns())
+	}
+	if !reflect.DeepEqual(subs[0].Responses[1], set.Responses[3]) {
+		t.Fatal("partition 0 did not pick pattern 3 second")
+	}
+	// The split sessions retire the same X volume as one big session.
+	cfg := Config{MISR: misr.MustStandard(16), Q: 3}
+	whole, err := RunResponses(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPartitioned(cfg, subs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalX != whole.TotalX {
+		t.Fatalf("partitioned TotalX = %d, want %d", res.TotalX, whole.TotalX)
+	}
+	// Out-of-range selection is rejected.
+	if _, err := SplitByPartition(set, []PatternSet{gf2.FromIndices(11, 10)}); err == nil {
+		t.Fatal("accepted out-of-range pattern index")
+	}
+}

@@ -121,6 +121,9 @@ type Options struct {
 	Seed int64
 	// MaxRounds caps accepted partitioning rounds (0 = unlimited).
 	MaxRounds int
+	// Workers bounds the goroutines used by the partitioning hot loops
+	// (0 = all CPUs). The plan is identical for any worker count.
+	Workers int
 }
 
 func (o Options) params(geom scan.Geometry) (core.Params, error) {
@@ -155,6 +158,7 @@ func (o Options) params(geom scan.Geometry) (core.Params, error) {
 		Strategy:  strat,
 		Seed:      o.Seed,
 		MaxRounds: o.MaxRounds,
+		Workers:   o.Workers,
 	}, nil
 }
 
