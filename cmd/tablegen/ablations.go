@@ -174,7 +174,7 @@ func ablCompressedCost(w io.Writer, scale int) error {
 		if err != nil {
 			return err
 		}
-		base := core.Params{Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}, Workers: numWorkers}
+		base := core.Params{Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}, Workers: numWorkers, Obs: obsRec}
 		raw, err := core.Run(m, base)
 		if err != nil {
 			return err
@@ -461,7 +461,7 @@ func ablGranularity(w io.Writer, scale int) error {
 	if err != nil {
 		return err
 	}
-	params := core.Params{Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}, Workers: numWorkers}
+	params := core.Params{Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}, Workers: numWorkers, Obs: obsRec}
 	res, err := core.Run(m, params)
 	if err != nil {
 		return err

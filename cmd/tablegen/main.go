@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"xhybrid/internal/obs"
 )
 
 func main() {
@@ -26,6 +28,11 @@ func main() {
 	scale := flag.Int("scale", 1, "shrink the industrial workloads by this factor")
 	seeds := flag.Int("seeds", 0, "with -table 1: also print a robustness sweep over this many workload seeds")
 	workers := flag.Int("workers", 0, "worker goroutines for the partitioning hot loops (0 = all CPUs)")
+	stats := flag.Bool("stats", false, "print a per-stage observability breakdown after the run")
+	trace := flag.String("trace", "", "print the observability snapshot after the run: text or json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	numWorkers = *workers
 
@@ -34,6 +41,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
 		os.Exit(1)
 	}
+	statsFormat := ""
+	if *stats {
+		statsFormat = "text"
+	}
+	switch *trace {
+	case "":
+	case "text", "json":
+		statsFormat = *trace
+	default:
+		fail(fmt.Errorf("unknown -trace format %q (want text or json)", *trace))
+	}
+	if statsFormat != "" {
+		obsRec = obs.New()
+	}
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile, *pprofAddr)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+		if obsRec == nil {
+			return
+		}
+		snap := obsRec.Snapshot()
+		var werr error
+		if statsFormat == "json" {
+			werr = snap.WriteJSON(os.Stdout)
+		} else {
+			werr = snap.WriteText(os.Stdout)
+		}
+		if werr != nil {
+			fail(werr)
+		}
+	}()
 	if *table == 1 {
 		ran = true
 		if err := runTable1(os.Stdout, *scale); err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"xhybrid/internal/core"
 	"xhybrid/internal/misr"
+	"xhybrid/internal/obs"
 	"xhybrid/internal/report"
 	"xhybrid/internal/workload"
 	"xhybrid/internal/xcancel"
@@ -26,12 +27,17 @@ var paperTable1 = map[string]struct {
 // partitioning hot loops (0 = all CPUs). Results are identical either way.
 var numWorkers int
 
+// obsRec is the -stats/-trace recorder; nil (the default) disables all
+// observation.
+var obsRec *obs.Recorder
+
 // table1Params returns the paper's hybrid configuration: 32-bit MISR, q=7.
 func table1Params(p workload.Profile) core.Params {
 	return core.Params{
 		Geom:    p.Geometry(),
 		Cancel:  xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
 		Workers: numWorkers,
+		Obs:     obsRec,
 	}
 }
 

@@ -11,6 +11,16 @@
 //	xhybrid verify    [-cells N] [-patterns K] [-m 16] [-q 3] [-seed S]
 //	                  # build a circuit, simulate it, program the hybrid and
 //	                  # replay the responses through the hardware models
+//
+// Observability (any subcommand):
+//
+//	-stats            print the per-stage breakdown (rounds, splits scored,
+//	                  halts, wall time per stage) after the run
+//	-trace text|json  same breakdown in an explicit format (json emits the
+//	                  full snapshot for machine consumption)
+//	-cpuprofile f     write a CPU profile; -memprofile f a heap profile
+//	-pprof addr       serve net/http/pprof (e.g. localhost:6060) for live
+//	                  inspection of long replay runs
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"xhybrid/internal/flow"
 	"xhybrid/internal/misr"
 	"xhybrid/internal/netlist"
+	"xhybrid/internal/obs"
 	"xhybrid/internal/scan"
 	"xhybrid/internal/tester"
 	"xhybrid/internal/workload"
@@ -44,41 +55,87 @@ func main() {
 	strategy := fs.String("strategy", "paper", "split strategy: paper, paper-random or greedy")
 	workers := fs.Int("workers", 0, "worker goroutines for the partitioning hot loops (0 = all CPUs)")
 	verbose := fs.Bool("v", false, "print the per-round trace and partitions")
+	stats := fs.Bool("stats", false, "print a per-stage observability breakdown after the run")
+	trace := fs.String("trace", "", "print the observability snapshot after the run: text or json")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cells := fs.Int("cells", 128, "verify: scan cells (multiple of the chain count 16)")
+	patterns := fs.Int("patterns", 96, "verify: test patterns")
+
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	rec, finishObs := startObs(*stats, *trace, *cpuprofile, *memprofile, *pprofAddr)
 
 	switch cmd {
 	case "analyze", "partition":
-		if err := fs.Parse(os.Args[2:]); err != nil {
-			os.Exit(2)
-		}
 		x, err := load(*workloadName, *inFile, *seed)
 		if err != nil {
 			die(err)
 		}
 		if cmd == "analyze" {
-			analyze(x)
-			return
+			rec.Time("analyze", func() { analyze(x) })
+		} else {
+			partition(x, xhybrid.Options{MISRSize: *misrSize, Q: *q, Strategy: *strategy, Seed: *seed, Workers: *workers, Stats: rec}, *verbose)
 		}
-		partition(x, xhybrid.Options{MISRSize: *misrSize, Q: *q, Strategy: *strategy, Seed: *seed, Workers: *workers}, *verbose)
 	case "example":
-		partition(xhybrid.PaperExample(), xhybrid.Options{MISRSize: 10, Q: 2}, true)
+		partition(xhybrid.PaperExample(), xhybrid.Options{MISRSize: 10, Q: 2, Stats: rec}, true)
 	case "verify":
-		cells := fs.Int("cells", 128, "scan cells (multiple of the chain count 16)")
-		patterns := fs.Int("patterns", 96, "test patterns")
-		if err := fs.Parse(os.Args[2:]); err != nil {
-			os.Exit(2)
-		}
-		verify(*cells, *patterns, *misrSize, *q, *seed, *workers)
+		verify(*cells, *patterns, *misrSize, *q, *seed, *workers, rec)
 	case "report":
-		if err := fs.Parse(os.Args[2:]); err != nil {
-			os.Exit(2)
-		}
 		x, err := load(*workloadName, *inFile, *seed)
 		if err != nil {
 			die(err)
 		}
-		reportMD(x, xhybrid.Options{MISRSize: *misrSize, Q: *q, Strategy: *strategy, Seed: *seed, Workers: *workers})
+		reportMD(x, xhybrid.Options{MISRSize: *misrSize, Q: *q, Strategy: *strategy, Seed: *seed, Workers: *workers, Stats: rec})
 	default:
 		usage()
+	}
+	finishObs()
+}
+
+// startObs assembles the run's observability session from the shared
+// flags: a recorder when a breakdown was requested (nil otherwise, which
+// disables all recording) and a finish closure that writes profiles and
+// prints the snapshot.
+func startObs(stats bool, trace, cpuprofile, memprofile, pprofAddr string) (*xhybrid.Stats, func()) {
+	format := ""
+	if stats {
+		format = "text"
+	}
+	switch trace {
+	case "":
+	case "text", "json":
+		format = trace
+	default:
+		die(fmt.Errorf("unknown -trace format %q (want text or json)", trace))
+	}
+	var rec *xhybrid.Stats
+	if format != "" {
+		rec = xhybrid.NewStats()
+	}
+	stopProf, err := obs.StartProfiles(cpuprofile, memprofile, pprofAddr)
+	if err != nil {
+		die(err)
+	}
+	return rec, func() {
+		if err := stopProf(); err != nil {
+			die(err)
+		}
+		if rec == nil {
+			return
+		}
+		snap := rec.Snapshot()
+		var werr error
+		if format == "json" {
+			werr = snap.WriteJSON(os.Stdout)
+		} else {
+			werr = snap.WriteText(os.Stdout)
+		}
+		if werr != nil {
+			die(werr)
+		}
 	}
 }
 
@@ -138,7 +195,7 @@ func orZero(v, d int) int {
 
 // verify builds a generated circuit, simulates it, assembles the hybrid
 // program and replays the responses through the hardware models.
-func verify(cells, patterns, m, q int, seed int64, workers int) {
+func verify(cells, patterns, m, q int, seed int64, workers int, rec *xhybrid.Stats) {
 	if m > 16 {
 		// The demo uses 16 chains; the compactor cannot spread them over a
 		// wider MISR, so clamp to a 16-bit register.
@@ -154,7 +211,9 @@ func verify(cells, patterns, m, q int, seed int64, workers int) {
 		die(fmt.Errorf("cells must be a multiple of 16"))
 	}
 	geom := scan.MustGeometry(16, cells/16)
+	endSim := rec.Span("verify.simulate")
 	set, xm, err := workload.FromCircuit(ckt, geom, patterns, uint64(seed)+1)
+	endSim()
 	if err != nil {
 		die(err)
 	}
@@ -168,6 +227,7 @@ func verify(cells, patterns, m, q int, seed int64, workers int) {
 		Geom:    geom,
 		Cancel:  xcancel.Config{MISR: cfg, Q: q},
 		Workers: workers,
+		Obs:     rec,
 	}, tester.Config{Channels: 32, OverlapMaskLoad: true})
 	if err != nil {
 		die(err)

@@ -14,6 +14,13 @@ func FuzzReadXLocationsText(f *testing.F) {
 	f.Add("# comment\ndesign 5 3 8\nx 7 4 2\n")
 	f.Add("design 0 0 0")
 	f.Add("x 1 1 1")
+	// Regression seeds: the pre-strict Sscanf parser accepted these
+	// malformed shapes (trailing garbage / wrong field counts) as valid.
+	f.Add("design 2 3 4\nx 1 2 3 junk\n")
+	f.Add("design 8 10 4 extra")
+	f.Add("design 2 3 4\nxr 1 0 0 2 9\n")
+	f.Add("design 2 3 4\nx 1 2\n")
+	f.Add("design 2 3 4\nx 1 2 3.5\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		x, err := ReadXLocationsText(strings.NewReader(in))
 		if err != nil {
@@ -42,6 +49,10 @@ func FuzzReadXLocationsJSON(f *testing.F) {
 	f.Add(seed.String())
 	f.Add(`{"chains":1,"chainLen":1,"patterns":1}`)
 	f.Add(`{}`)
+	// Regression seeds: duplicate cell records and repeated pattern indices
+	// were silently merged before the reader rejected them.
+	f.Add(`{"chains":2,"chainLen":2,"patterns":4,"cells":[{"cell":1,"p":[0]},{"cell":1,"p":[2]}]}`)
+	f.Add(`{"chains":2,"chainLen":2,"patterns":4,"cells":[{"cell":0,"p":[3,1,3]}]}`)
 	f.Fuzz(func(t *testing.T, in string) {
 		x, err := ReadXLocations(strings.NewReader(in))
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"xhybrid/internal/gf2"
 	"xhybrid/internal/misr"
+	"xhybrid/internal/obs"
 	"xhybrid/internal/workload"
 	"xhybrid/internal/xcancel"
 )
@@ -63,6 +64,34 @@ func BenchmarkRunWorkers(b *testing.B) {
 				bits = res.TotalBits
 			}
 			b.ReportMetric(float64(bits), "total-bits")
+		})
+	}
+}
+
+// BenchmarkRunStats pins the cost of the observability layer on the
+// quarter-scale CKT-B run. The "off" case (Obs nil, the default) must track
+// BenchmarkRunCKTBQuarter to within the noise floor — every counter touch
+// behind a nil receiver is a single branch — while "on" shows the real
+// price of live recording.
+func BenchmarkRunStats(b *testing.B) {
+	prof := workload.Scaled(workload.CKTB(), 4)
+	m, err := prof.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			p := Params{Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}}
+			if mode == "on" {
+				p.Obs = obs.New()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(m, p); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -31,8 +31,9 @@ func RunClustered(m *xmap.XMap, params Params) (*Result, error) {
 	if m.Patterns() == 0 {
 		return nil, ErrEmptyPatterns
 	}
+	defer params.Obs.Span("core.cluster")()
 	e := newEvaluator(m, params)
-	defer e.pool.Close()
+	defer e.close()
 
 	mSize, q := params.Cancel.MISR.Size, params.Cancel.Q
 	cancelPerX := float64(mSize*q) / float64(mSize-q)

@@ -19,6 +19,7 @@ import (
 	"runtime"
 
 	"xhybrid/internal/gf2"
+	"xhybrid/internal/obs"
 	"xhybrid/internal/pool"
 	"xhybrid/internal/scan"
 	"xhybrid/internal/xcancel"
@@ -108,6 +109,10 @@ type Params struct {
 	// runtime.GOMAXPROCS(0). Every parallel reduction is deterministic, so
 	// results are byte-identical for any worker count.
 	Workers int
+	// Obs receives the run's counters and stage spans (rounds, candidate
+	// splits scored, masked-X recomputes, pool saturation). nil disables
+	// observation at no cost to the hot loops.
+	Obs *obs.Recorder
 }
 
 // workers resolves the effective worker count.
@@ -228,17 +233,42 @@ type evaluator struct {
 	params Params
 	totalX int
 	pool   *pool.Pool
+
+	// Cached observability handles (nil when params.Obs is nil, which
+	// makes every recording below a single-branch no-op).
+	obsRounds     *obs.Counter
+	obsAccepted   *obs.Counter
+	obsScored     *obs.Counter
+	obsRecomputes *obs.Counter
 }
 
 // newEvaluator builds the run state; the caller must Close the evaluator's
 // pool when done.
 func newEvaluator(m *xmap.XMap, params Params) *evaluator {
+	// Force the X-map's lazy cell reindex at this serial point, before the
+	// pool fans XCells readers out over worker goroutines.
+	m.XCells()
 	return &evaluator{
 		m:      m,
 		params: params,
 		totalX: m.TotalX(),
 		pool:   pool.New(params.workers()),
+
+		obsRounds:     params.Obs.Counter("core.rounds"),
+		obsAccepted:   params.Obs.Counter("core.rounds.accepted"),
+		obsScored:     params.Obs.Counter("core.splits.scored"),
+		obsRecomputes: params.Obs.Counter("core.maskedx.recomputes"),
 	}
+}
+
+// close releases the pool and flushes the pool saturation stats.
+func (e *evaluator) close() {
+	if d, inl := e.pool.Stats(); d+inl > 0 {
+		e.params.Obs.Set("core.pool.chunks.dispatched", d)
+		e.params.Obs.Set("core.pool.chunks.inline", inl)
+	}
+	e.params.Obs.Set("core.pool.workers", int64(e.pool.Workers()))
+	e.pool.Close()
 }
 
 // maskedXIn returns how many X's a shared mask removes in the partition.
@@ -249,6 +279,7 @@ func (e *evaluator) maskedXIn(part gf2.Vec) int {
 	if size == 0 {
 		return 0
 	}
+	e.obsRecomputes.Inc()
 	cells := e.m.XCells()
 	return e.pool.SumInt(len(cells), func(i int) int {
 		if cells[i].Patterns.PopCountAnd(part) == size {

@@ -37,8 +37,9 @@ func Run(m *xmap.XMap, params Params) (*Result, error) {
 	if m.Patterns() == 0 {
 		return nil, ErrEmptyPatterns
 	}
+	defer params.Obs.Span("core.run")()
 	e := newEvaluator(m, params)
-	defer e.pool.Close()
+	defer e.close()
 	rng := rand.New(rand.NewSource(params.Seed))
 
 	// Start with a single partition holding every pattern.
@@ -74,6 +75,8 @@ outer:
 			if params.MaxRounds > 0 && round > params.MaxRounds {
 				break outer
 			}
+			e.obsRounds.Inc()
+			e.obsScored.Inc()
 			newParts, newMaskedX := e.applySplit(parts, maskedX, cand)
 			newCost := e.cost(newParts, newMaskedX)
 			r := Round{
@@ -88,6 +91,7 @@ outer:
 			}
 			rounds = append(rounds, r)
 			if r.Accepted {
+				e.obsAccepted.Inc()
 				parts, maskedX, cost = newParts, newMaskedX, newCost
 				committed = true
 				break
@@ -111,7 +115,7 @@ func (e *evaluator) groupsPerPartition(parts []gf2.Vec) [][]correlation.Group {
 		if parts[i].PopCount() < 2 {
 			return
 		}
-		groups[i] = correlation.GroupsWithinPool(e.m, parts[i], e.pool)
+		groups[i] = correlation.GroupsWithinObs(e.m, parts[i], e.pool, e.params.Obs)
 	})
 	return groups
 }
@@ -262,6 +266,7 @@ func (e *evaluator) selectGreedy(parts []gf2.Vec, maskedX []int, cost int) *spli
 		return nil
 	}
 	// Score every candidate concurrently, then reduce by (cost, position).
+	e.obsScored.Add(int64(len(all)))
 	costs := make([]int, len(all))
 	e.pool.ForEach(len(all), func(k int) {
 		np, nm := e.applySplit(parts, maskedX, all[k])
@@ -324,6 +329,10 @@ func (e *evaluator) finalize(parts []gf2.Vec, rounds []Round) *Result {
 	res.MaskBits = maskBits
 	res.CancelBits = xcancel.ControlBits(res.ResidualX, e.params.Cancel.MISR.Size, e.params.Cancel.Q)
 	res.TotalBits = res.MaskBits + res.CancelBits
+	e.params.Obs.Set("core.partitions", int64(len(res.Partitions)))
+	e.params.Obs.Set("core.maskedx", int64(res.MaskedX))
+	e.params.Obs.Set("xcancel.halts.planned",
+		int64(xcancel.Halts(res.ResidualX, e.params.Cancel.MISR.Size, e.params.Cancel.Q)))
 	return res
 }
 

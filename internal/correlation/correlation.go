@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"xhybrid/internal/gf2"
+	"xhybrid/internal/obs"
 	"xhybrid/internal/pool"
 	"xhybrid/internal/xmap"
 )
@@ -64,7 +65,17 @@ func GroupsWithin(m *xmap.XMap, part gf2.Vec) []Group {
 // serially). Counts land in a cell-indexed slice and the grouping pass is
 // serial, so the result is identical for any worker count.
 func GroupsWithinPool(m *xmap.XMap, part gf2.Vec, pl *pool.Pool) []Group {
+	return GroupsWithinObs(m, part, pl, nil)
+}
+
+// GroupsWithinObs is GroupsWithinPool recording the grouping work on rec:
+// counter correlation.groupings counts invocations and
+// correlation.cells.counted the per-cell X-count evaluations (the hot
+// multiply of the partitioner). A nil rec disables recording.
+func GroupsWithinObs(m *xmap.XMap, part gf2.Vec, pl *pool.Pool, rec *obs.Recorder) []Group {
+	rec.Add("correlation.groupings", 1)
 	cells := m.XCells()
+	rec.Add("correlation.cells.counted", int64(len(cells)))
 	counts := make([]int, len(cells))
 	count := func(i int) { counts[i] = cells[i].Patterns.PopCountAnd(part) }
 	if pl != nil {

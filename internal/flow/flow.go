@@ -13,6 +13,7 @@ import (
 	"xhybrid/internal/compactor"
 	"xhybrid/internal/core"
 	"xhybrid/internal/logic"
+	"xhybrid/internal/obs"
 	"xhybrid/internal/scan"
 	"xhybrid/internal/tester"
 	"xhybrid/internal/xcancel"
@@ -35,10 +36,15 @@ type Program struct {
 	Accounting *core.Result
 	// Schedule is the cycle-level tester schedule.
 	Schedule tester.Schedule
+	// Obs carries params.Obs into the replay stage; nil disables
+	// observation.
+	Obs *obs.Recorder
 }
 
-// Build partitions the X-map and assembles the program.
+// Build partitions the X-map and assembles the program. The partitioning,
+// ordering and scheduling stages are recorded on params.Obs when set.
 func Build(m *xmap.XMap, params core.Params, tcfg tester.Config) (*Program, error) {
+	defer params.Obs.Span("flow.build")()
 	res, err := core.Run(m, params)
 	if err != nil {
 		return nil, err
@@ -48,6 +54,7 @@ func Build(m *xmap.XMap, params core.Params, tcfg tester.Config) (*Program, erro
 		Cancel:     params.Cancel,
 		Partitions: res.Partitions,
 		Accounting: res,
+		Obs:        params.Obs,
 	}
 	sizes := make([]int, len(res.Partitions))
 	for i, p := range res.Partitions {
@@ -113,7 +120,8 @@ type VerifyReport struct {
 
 // VerifyResponses replays the full response set through the program's
 // hardware models. The responses' geometry must match the program; the
-// compactor folds the chains onto the MISR inputs.
+// compactor folds the chains onto the MISR inputs. Per-stage wall time and
+// the cycle/pattern counters land on prog.Obs when set.
 func VerifyResponses(prog *Program, set *scan.ResponseSet) (*VerifyReport, error) {
 	if set.Geom != prog.Geom {
 		return nil, fmt.Errorf("flow: response geometry %v does not match program %v", set.Geom, prog.Geom)
@@ -121,6 +129,9 @@ func VerifyResponses(prog *Program, set *scan.ResponseSet) (*VerifyReport, error
 	if set.Patterns() != len(prog.PatternOrder) {
 		return nil, fmt.Errorf("flow: %d responses for %d planned patterns", set.Patterns(), len(prog.PatternOrder))
 	}
+	defer prog.Obs.Span("flow.replay")()
+	obsPatterns := prog.Obs.Counter("flow.patterns.replayed")
+	obsCycles := prog.Obs.Counter("flow.cycles.replayed")
 	tree, err := compactor.NewModulo(prog.Geom.Chains, prog.Cancel.MISR.Size)
 	if err != nil {
 		return nil, err
@@ -129,6 +140,7 @@ func VerifyResponses(prog *Program, set *scan.ResponseSet) (*VerifyReport, error
 	if err != nil {
 		return nil, err
 	}
+	canc.Observe(prog.Obs)
 	rep := &VerifyReport{}
 	for _, p := range prog.PatternOrder {
 		r := set.Responses[p]
@@ -160,6 +172,8 @@ func VerifyResponses(prog *Program, set *scan.ResponseSet) (*VerifyReport, error
 			}
 		}
 		rep.PatternsApplied++
+		obsPatterns.Inc()
+		obsCycles.Add(int64(len(slices)))
 	}
 	res := canc.Finish()
 	rep.Halts = len(res.Halts)

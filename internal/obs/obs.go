@@ -1,0 +1,248 @@
+// Package obs is the observability layer of the hybrid pipeline: cheap
+// named counters and per-stage wall-time spans that the partitioner, the
+// X-canceling paths and the replay flow record as they run. Every recording
+// method is safe on a nil *Recorder (and a nil *Counter / nil span closure),
+// compiling down to a single predictable branch, so instrumented code pays
+// essentially nothing when observation is disabled — the hot paths keep
+// their handles unconditionally and never test a flag themselves.
+//
+// All recording operations are safe for concurrent use: counters and span
+// accumulators are atomics, so pool workers can record without
+// serialization. Snapshot gives a consistent-enough view for reporting (it
+// does not stop concurrent writers).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is one named monotonic counter. The zero value is ready to use;
+// a nil *Counter discards all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n; no-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one; no-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Set overwrites the counter (for gauge-style values such as worker
+// counts); no-op on a nil receiver.
+func (c *Counter) Set(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// spanStat accumulates the invocations of one named stage.
+type spanStat struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// Recorder collects the counters and spans of one pipeline run. The zero
+// value is not usable; call New. A nil *Recorder is the disabled state:
+// every method is a no-op and every handle it returns is the discarding
+// nil handle.
+type Recorder struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	spans    map[string]*spanStat
+	start    time.Time
+}
+
+// New returns an empty enabled recorder.
+func New() *Recorder {
+	return &Recorder{
+		counters: make(map[string]*Counter),
+		spans:    make(map[string]*spanStat),
+		start:    time.Now(),
+	}
+}
+
+// Counter returns the named counter handle, creating it at zero on first
+// use. The handle is stable and safe to cache in hot loops. Returns nil on
+// a nil receiver (nil handles discard updates).
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by n; no-op on a nil receiver.
+func (r *Recorder) Add(name string, n int64) { r.Counter(name).Add(n) }
+
+// Set overwrites the named counter; no-op on a nil receiver.
+func (r *Recorder) Set(name string, n int64) { r.Counter(name).Set(n) }
+
+// noopEnd is the shared end-closure handed out by a nil recorder.
+var noopEnd = func() {}
+
+// Span starts timing one invocation of the named stage and returns the
+// closure that ends it:
+//
+//	defer rec.Span("core.run")()
+//
+// Repeated invocations of the same name accumulate (count and total wall
+// time). On a nil receiver the returned closure does nothing.
+func (r *Recorder) Span(name string) func() {
+	if r == nil {
+		return noopEnd
+	}
+	r.mu.Lock()
+	s, ok := r.spans[name]
+	if !ok {
+		s = &spanStat{}
+		r.spans[name] = s
+	}
+	r.mu.Unlock()
+	t0 := time.Now()
+	return func() {
+		s.count.Add(1)
+		s.nanos.Add(int64(time.Since(t0)))
+	}
+}
+
+// Time runs fn under a span of the given name.
+func (r *Recorder) Time(name string, fn func()) {
+	end := r.Span(name)
+	fn()
+	end()
+}
+
+// CounterStat is one counter in a snapshot.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// SpanStat is one stage in a snapshot.
+type SpanStat struct {
+	Name  string        `json:"name"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"totalNs"`
+}
+
+// Snapshot is a point-in-time copy of a recorder's state, sorted by name.
+type Snapshot struct {
+	// Elapsed is the wall time since the recorder was created.
+	Elapsed  time.Duration `json:"elapsedNs"`
+	Counters []CounterStat `json:"counters"`
+	Spans    []SpanStat    `json:"spans"`
+}
+
+// Snapshot copies the current state. Returns the zero Snapshot on a nil
+// receiver.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{Elapsed: time.Since(r.start)}
+	for name, c := range r.counters {
+		snap.Counters = append(snap.Counters, CounterStat{Name: name, Value: c.Value()})
+	}
+	for name, s := range r.spans {
+		snap.Spans = append(snap.Spans, SpanStat{
+			Name:  name,
+			Count: s.count.Load(),
+			Total: time.Duration(s.nanos.Load()),
+		})
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Spans, func(i, j int) bool { return snap.Spans[i].Name < snap.Spans[j].Name })
+	return snap
+}
+
+// WriteText prints the snapshot as an aligned two-section breakdown.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "--- stage breakdown (%.3fs elapsed) ---\n", s.Elapsed.Seconds()); err != nil {
+		return err
+	}
+	width := 0
+	for _, sp := range s.Spans {
+		if len(sp.Name) > width {
+			width = len(sp.Name)
+		}
+	}
+	for _, c := range s.Counters {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, sp := range s.Spans {
+		avg := time.Duration(0)
+		if sp.Count > 0 {
+			avg = sp.Total / time.Duration(sp.Count)
+		}
+		if _, err := fmt.Fprintf(w, "span    %-*s  %10.3fms  x%-6d avg %s\n",
+			width, sp.Name, float64(sp.Total)/float64(time.Millisecond), sp.Count, avg.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter %-*s  %12d\n", width, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON prints the snapshot as one JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// CounterValue returns the named counter's value in the snapshot (0 when
+// absent).
+func (s Snapshot) CounterValue(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// SpanByName returns the named span and whether it exists.
+func (s Snapshot) SpanByName(name string) (SpanStat, bool) {
+	for _, sp := range s.Spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return SpanStat{}, false
+}

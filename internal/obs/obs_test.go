@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Add("a", 1)
+	r.Set("b", 2)
+	r.Time("c", func() {})
+	end := r.Span("d")
+	end()
+	if c := r.Counter("a"); c != nil {
+		t.Fatal("nil recorder handed out a live counter")
+	}
+	var nc *Counter
+	nc.Add(5)
+	nc.Inc()
+	nc.Set(9)
+	if nc.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Fatal("nil recorder produced a non-empty snapshot")
+	}
+}
+
+func TestCountersAndSpans(t *testing.T) {
+	r := New()
+	c := r.Counter("core.rounds")
+	c.Add(3)
+	c.Inc()
+	r.Add("core.rounds", 1)
+	r.Set("core.workers", 8)
+	r.Time("stage.a", func() { time.Sleep(time.Millisecond) })
+	r.Time("stage.a", func() {})
+	snap := r.Snapshot()
+	if got := snap.CounterValue("core.rounds"); got != 5 {
+		t.Fatalf("core.rounds = %d, want 5", got)
+	}
+	if got := snap.CounterValue("core.workers"); got != 8 {
+		t.Fatalf("core.workers = %d, want 8", got)
+	}
+	if got := snap.CounterValue("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+	sp, ok := snap.SpanByName("stage.a")
+	if !ok {
+		t.Fatal("span stage.a missing")
+	}
+	if sp.Count != 2 {
+		t.Fatalf("span count = %d, want 2", sp.Count)
+	}
+	if sp.Total < time.Millisecond {
+		t.Fatalf("span total = %v, want >= 1ms", sp.Total)
+	}
+	if _, ok := snap.SpanByName("missing"); ok {
+		t.Fatal("found a span that never ran")
+	}
+}
+
+// Counter handles must be stable: two lookups of the same name share state.
+func TestCounterHandleStable(t *testing.T) {
+	r := New()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("same name produced distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles do not share state")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := New()
+	r.Add("zeta", 1)
+	r.Add("alpha", 1)
+	r.Add("mid", 1)
+	r.Span("z.stage")()
+	r.Span("a.stage")()
+	snap := r.Snapshot()
+	for i := 1; i < len(snap.Counters); i++ {
+		if snap.Counters[i-1].Name > snap.Counters[i].Name {
+			t.Fatal("counters not sorted")
+		}
+	}
+	for i := 1; i < len(snap.Spans); i++ {
+		if snap.Spans[i-1].Name > snap.Spans[i].Name {
+			t.Fatal("spans not sorted")
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				r.Add("m", 1)
+				r.Span("s")()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.CounterValue("n"); got != 8000 {
+		t.Fatalf("n = %d, want 8000", got)
+	}
+	if got := snap.CounterValue("m"); got != 8000 {
+		t.Fatalf("m = %d, want 8000", got)
+	}
+	if sp, _ := snap.SpanByName("s"); sp.Count != 8000 {
+		t.Fatalf("span count = %d, want 8000", sp.Count)
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	r := New()
+	r.Add("halts", 4)
+	r.Time("replay", func() {})
+	snap := r.Snapshot()
+
+	var text bytes.Buffer
+	if err := snap.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{"stage breakdown", "halts", "replay"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if back.CounterValue("halts") != 4 {
+		t.Fatal("JSON round trip lost the counter")
+	}
+}
+
+// The disabled path must be branch-cheap: this is the guarantee the hot
+// loops rely on when stats are off.
+func BenchmarkNilCounterAdd(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkLiveCounterAdd(b *testing.B) {
+	c := New().Counter("n")
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

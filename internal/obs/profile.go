@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles wires up the standard Go profiling endpoints for a run:
+// cpuFile starts a CPU profile, memFile arranges a heap profile at stop,
+// and pprofAddr serves net/http/pprof (e.g. "localhost:6060") for live
+// inspection of long replay runs. Empty strings disable each. The returned
+// stop must be called once at the end of the run; it stops the CPU profile
+// and writes the heap profile (the pprof server, if any, keeps serving
+// until the process exits).
+func StartProfiles(cpuFile, memFile, pprofAddr string) (stop func() error, err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if pprofAddr != "" {
+		ln := pprofAddr
+		go func() {
+			// The server runs for the life of the process; a bind failure
+			// only loses the live endpoint, never the run itself.
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+			}
+		}()
+	}
+	return func() error {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			out, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+			defer out.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -16,6 +16,7 @@ package pool
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a fixed-size set of reusable workers. The zero value is not
@@ -25,6 +26,13 @@ type Pool struct {
 	workers int
 	tasks   chan func()
 	wg      sync.WaitGroup
+
+	// dispatched counts chunks handed to a parked worker; inline counts
+	// chunks the submitter ran itself because every worker was busy. The
+	// inline share is the saturation signal the observability layer
+	// reports ("queue depth" of a queueless pool).
+	dispatched atomic.Int64
+	inline     atomic.Int64
 }
 
 // New returns a pool with the given number of workers; workers <= 0 selects
@@ -53,6 +61,13 @@ func New(workers int) *Pool {
 
 // Workers returns the pool's worker count (always >= 1).
 func (p *Pool) Workers() int { return p.workers }
+
+// Stats returns how many chunks were dispatched to parked workers and how
+// many ran inline on the submitter because every worker was busy. Safe to
+// call concurrently with fan-outs.
+func (p *Pool) Stats() (dispatched, inline int64) {
+	return p.dispatched.Load(), p.inline.Load()
+}
 
 // Close releases the pool's goroutines. It must not be called concurrently
 // with Chunks/ForEach/SumInt; after Close the pool runs everything inline.
@@ -95,8 +110,10 @@ func (p *Pool) Chunks(n int, fn func(c, lo, hi int)) {
 		}
 		select {
 		case p.tasks <- task:
+			p.dispatched.Add(1)
 		default:
 			// Every worker is busy (e.g. a nested fan-out): run inline.
+			p.inline.Add(1)
 			task()
 		}
 	}

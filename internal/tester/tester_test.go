@@ -1,6 +1,7 @@
 package tester
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -42,6 +43,51 @@ func TestValidate(t *testing.T) {
 	}
 	if _, err := Compute(Plan{}, Config{Channels: 1}); err == nil {
 		t.Fatal("Compute accepted bad plan")
+	}
+}
+
+// TestPlanValidateTable walks every rejection branch of Plan.Validate with
+// the specific field that breaks it, plus the messages errors must carry so
+// callers can tell which plan component to fix.
+func TestPlanValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Plan)
+		wantErr string // "" means the plan must validate
+	}{
+		{"base plan valid", func(p *Plan) {}, ""},
+		{"zero chains", func(p *Plan) { p.Geom.Chains = 0 }, "chain count"},
+		{"negative chains", func(p *Plan) { p.Geom.Chains = -4 }, "chain count"},
+		{"zero chain length", func(p *Plan) { p.Geom.ChainLen = 0 }, "chain length"},
+		{"empty pattern order", func(p *Plan) { p.PartitionOf = nil }, "empty pattern order"},
+		{"negative mask image", func(p *Plan) { p.MaskBitsPerImage = -1 }, "negative plan component"},
+		{"negative halts", func(p *Plan) { p.Halts = -1 }, "negative plan component"},
+		{"zero MISR size", func(p *Plan) { p.MISRSize = 0 }, "invalid MISR config"},
+		{"zero q", func(p *Plan) { p.Q = 0 }, "invalid MISR config"},
+		{"q equals m", func(p *Plan) { p.Q = 32 }, "invalid MISR config"},
+		{"q above m", func(p *Plan) { p.Q = 33 }, "invalid MISR config"},
+		{"q=m-1 boundary valid", func(p *Plan) { p.Q = 31 }, ""},
+		{"zero mask image valid", func(p *Plan) { p.MaskBitsPerImage = 0 }, ""},
+		{"zero halts valid", func(p *Plan) { p.Halts = 0 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := basePlan()
+			tc.mutate(&p)
+			err := p.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("rejected valid plan: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("accepted invalid plan")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

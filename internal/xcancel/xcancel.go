@@ -17,6 +17,7 @@ import (
 	"xhybrid/internal/gf2"
 	"xhybrid/internal/logic"
 	"xhybrid/internal/misr"
+	"xhybrid/internal/obs"
 	"xhybrid/internal/scan"
 )
 
@@ -45,12 +46,28 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// checkMQ panics unless 1 <= q < m, the precondition of every closed-form
+// accounting function below. Halts per session hold m-q X's, so q >= m
+// (zero or negative capacity) has no defined halt count — before this
+// guard, q = m crashed with an anonymous divide-by-zero and q > m returned
+// negative counts that silently corrupted Table-1 numbers. Callers that
+// take m and q from external input should validate with Config.Validate
+// and return the error instead of reaching this panic.
+func checkMQ(m, q int) {
+	if q < 1 || q >= m {
+		panic(fmt.Sprintf("xcancel: invalid accounting config m=%d q=%d (need 1 <= q < m)", m, q))
+	}
+}
+
 // Halts returns the number of scan halts needed to retire totalX unknown
-// values: ceil(totalX / (m - q)).
+// values: ceil(totalX / (m - q)). Zero X's need zero halts for any m and
+// q; otherwise the configuration must satisfy 1 <= q < m or Halts panics
+// (see checkMQ).
 func Halts(totalX, m, q int) int {
 	if totalX <= 0 {
 		return 0
 	}
+	checkMQ(m, q)
 	cap := m - q
 	return (totalX + cap - 1) / cap
 }
@@ -58,11 +75,14 @@ func Halts(totalX, m, q int) int {
 // ControlBits returns the paper's X-canceling control-bit volume
 // ceil(m*q*totalX / (m-q)): each halt transfers m*q selection bits and the
 // product is rounded up once at the end, matching the paper's worked
-// examples (57.5 -> 58, 43.3 -> 44, 50.5 -> 51).
+// examples (57.5 -> 58, 43.3 -> 44, 50.5 -> 51). Zero X's cost zero bits
+// for any m and q; otherwise the configuration must satisfy 1 <= q < m or
+// ControlBits panics (see checkMQ).
 func ControlBits(totalX, m, q int) int {
 	if totalX <= 0 {
 		return 0
 	}
+	checkMQ(m, q)
 	num := m * q * totalX
 	den := m - q
 	return (num + den - 1) / den
@@ -71,7 +91,7 @@ func ControlBits(totalX, m, q int) int {
 // ControlBitsPerHaltCeil is the alternative accounting that rounds the halt
 // count up first: Halts * m * q. It upper-bounds ControlBits and is what a
 // cycle-accurate controller actually transfers; exposed for the rounding
-// ablation.
+// ablation. It shares Halts's precondition (1 <= q < m when totalX > 0).
 func ControlBitsPerHaltCeil(totalX, m, q int) int {
 	return Halts(totalX, m, q) * m * q
 }
@@ -79,12 +99,16 @@ func ControlBitsPerHaltCeil(totalX, m, q int) int {
 // NormalizedTestTime returns the paper's normalized test time for the
 // time-multiplexed X-canceling MISR: 1 + chains*xDensity*q/(m-q), where
 // xDensity is the fraction of response bits (entering the MISR) that are X.
-// The shadow-register variant always has normalized time 1.
+// The shadow-register variant always has normalized time 1. The
+// time-multiplexed configuration must satisfy 1 <= q < m or the function
+// panics (see checkMQ) — before the guard, q = m returned +Inf and q > m a
+// time below 1, both silently wrong.
 func NormalizedTestTime(cfg Config, chains int, xDensity float64) float64 {
 	if cfg.Shadow {
 		return 1
 	}
 	m, q := cfg.MISR.Size, cfg.Q
+	checkMQ(m, q)
 	return 1 + float64(chains)*xDensity*float64(q)/float64(m-q)
 }
 
@@ -142,6 +166,19 @@ type Canceler struct {
 	sym      *misr.Symbolic
 	pendingX int
 	res      Result
+
+	// Observability handles, nil (no-op) unless Observe was called. They
+	// are touched only at halt/finish boundaries, never per shift cycle,
+	// so the cycle-level hot path is identical with and without them.
+	obsHalts      *obs.Counter
+	obsDeficits   *obs.Counter
+	obsSignatures *obs.Counter
+	obsXRetired   *obs.Counter
+	obsCycles     *obs.Counter
+	// cyclesFlushed is how many shift cycles were already added to
+	// obsCycles, so repeated Finish calls (and shared recorders across
+	// sessions) accumulate instead of double-counting.
+	cyclesFlushed int
 }
 
 // NewCanceler returns a controller for the configuration.
@@ -154,6 +191,20 @@ func NewCanceler(cfg Config) (*Canceler, error) {
 		return nil, err
 	}
 	return &Canceler{cfg: cfg, sym: sym}, nil
+}
+
+// Observe registers rec to receive the controller's session counters:
+// xcancel.halts, xcancel.deficits, xcancel.signatures (the X-free
+// eliminations extracted), xcancel.x.retired and xcancel.shift.cycles. A
+// nil rec (or never calling Observe) leaves observation disabled; the
+// counters are only updated at halts and Finish, so per-cycle shifting
+// costs nothing either way.
+func (c *Canceler) Observe(rec *obs.Recorder) {
+	c.obsHalts = rec.Counter("xcancel.halts")
+	c.obsDeficits = rec.Counter("xcancel.deficits")
+	c.obsSignatures = rec.Counter("xcancel.signatures")
+	c.obsXRetired = rec.Counter("xcancel.x.retired")
+	c.obsCycles = rec.Counter("xcancel.shift.cycles")
 }
 
 // MustNewCanceler is NewCanceler that panics on error.
@@ -210,6 +261,10 @@ func (c *Canceler) halt() {
 	if !c.cfg.Shadow {
 		c.res.HaltCycles += c.cfg.Q
 	}
+	c.obsHalts.Inc()
+	c.obsDeficits.Add(int64(h.Deficit))
+	c.obsSignatures.Add(int64(len(h.Signatures)))
+	c.obsXRetired.Add(int64(h.XRetired))
 }
 
 // Finish performs a final halt if X symbols are pending, records the
@@ -220,6 +275,8 @@ func (c *Canceler) Finish() Result {
 		c.halt()
 	}
 	c.res.FinalSignature = c.sym.Known()
+	c.obsCycles.Add(int64(c.res.ShiftCycles - c.cyclesFlushed))
+	c.cyclesFlushed = c.res.ShiftCycles
 	return c.res
 }
 
@@ -234,6 +291,12 @@ func (c *Canceler) Known() uint64 { return c.sym.Known() }
 // run summary. This is the end-to-end demonstration path; large designs use
 // the closed-form accounting instead.
 func RunResponses(cfg Config, s *scan.ResponseSet) (Result, error) {
+	return RunResponsesObs(cfg, s, nil)
+}
+
+// RunResponsesObs is RunResponses with the session's halt/deficit/
+// signature counters and wall time recorded on rec (nil disables).
+func RunResponsesObs(cfg Config, s *scan.ResponseSet, rec *obs.Recorder) (Result, error) {
 	if s.Geom.Chains != cfg.MISR.Size {
 		return Result{}, fmt.Errorf("xcancel: %d chains but %d-input MISR", s.Geom.Chains, cfg.MISR.Size)
 	}
@@ -241,6 +304,8 @@ func RunResponses(cfg Config, s *scan.ResponseSet) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	c.Observe(rec)
+	defer rec.Span("xcancel.run")()
 	for _, r := range s.Responses {
 		for t := 0; t < s.Geom.ChainLen; t++ {
 			if err := c.Shift(r.Slice(t)); err != nil {

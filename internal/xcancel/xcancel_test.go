@@ -1,7 +1,9 @@
 package xcancel
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -79,6 +81,84 @@ func TestHaltsAndBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// mustPanic runs fn and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic, got none")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestAccountingBoundaries pins the q/m edge of every closed-form
+// accounting function. Before checkMQ, q = m divided by zero with an
+// anonymous runtime panic and q > m silently returned negative halt and
+// bit counts.
+func TestAccountingBoundaries(t *testing.T) {
+	// q = m-1 is the tightest valid configuration: one retired X per halt,
+	// so the halt count equals totalX exactly.
+	if got := Halts(10, 4, 3); got != 10 {
+		t.Fatalf("Halts(10, 4, 3) = %d, want 10", got)
+	}
+	if got := ControlBits(10, 4, 3); got != 120 {
+		t.Fatalf("ControlBits(10, 4, 3) = %d, want 120", got)
+	}
+	if got := ControlBitsPerHaltCeil(10, 4, 3); got != 120 {
+		t.Fatalf("ControlBitsPerHaltCeil(10, 4, 3) = %d, want 120", got)
+	}
+	if got := NormalizedTestTime(cfg(4, 3), 2, 0.5); got != 4 {
+		t.Fatalf("NormalizedTestTime(m=4, q=3) = %f, want 4", got)
+	}
+
+	// totalX = 0 is free for ANY m, q — even invalid ones must not panic,
+	// because callers legitimately ask for the cost of an X-free partition
+	// before validating a speculative configuration.
+	for _, mq := range [][2]int{{4, 3}, {4, 4}, {4, 9}, {0, 0}, {-1, 5}} {
+		m, q := mq[0], mq[1]
+		if got := Halts(0, m, q); got != 0 {
+			t.Fatalf("Halts(0, %d, %d) = %d, want 0", m, q, got)
+		}
+		if got := ControlBits(0, m, q); got != 0 {
+			t.Fatalf("ControlBits(0, %d, %d) = %d, want 0", m, q, got)
+		}
+		if got := ControlBitsPerHaltCeil(0, m, q); got != 0 {
+			t.Fatalf("ControlBitsPerHaltCeil(0, %d, %d) = %d, want 0", m, q, got)
+		}
+	}
+	if got := Halts(-5, 4, 4); got != 0 {
+		t.Fatalf("Halts(-5, 4, 4) = %d, want 0", got)
+	}
+
+	// q = m and beyond must fail loudly with the named precondition, not
+	// divide by zero or go negative.
+	const want = "need 1 <= q < m"
+	mustPanic(t, want, func() { Halts(1, 4, 4) })
+	mustPanic(t, want, func() { Halts(1, 4, 5) })
+	mustPanic(t, want, func() { ControlBits(1, 4, 4) })
+	mustPanic(t, want, func() { ControlBitsPerHaltCeil(1, 4, 5) })
+	mustPanic(t, want, func() { Halts(1, 4, 0) })
+
+	// NormalizedTestTime's invalid-q cases need a hand-edited config:
+	// cfg() builds through MustStandard, which only checks the MISR size,
+	// so an out-of-range Q reaches the accounting guard.
+	badQ := cfg(4, 3)
+	badQ.Q = 4
+	mustPanic(t, want, func() { NormalizedTestTime(badQ, 1, 0) })
+	badQ.Q = 9
+	mustPanic(t, want, func() { NormalizedTestTime(badQ, 1, 0) })
+	badQ.Shadow = true
+	if got := NormalizedTestTime(badQ, 1, 0); got != 1 {
+		t.Fatalf("shadow variant with invalid q = %f, want 1 (shadow short-circuits)", got)
 	}
 }
 
@@ -416,10 +496,88 @@ func TestShiftWidthError(t *testing.T) {
 	}
 }
 
+// TestShiftWidthErrorTable checks every off-by-one around the m-wide input
+// contract, that errors name both widths, and that a rejected slice leaves
+// the canceler untouched (no phantom cycle or X accounting).
+func TestShiftWidthErrorTable(t *testing.T) {
+	const m = 6
+	cases := []struct {
+		name  string
+		width int
+		ok    bool
+	}{
+		{"empty", 0, false},
+		{"one short", m - 1, false},
+		{"exact", m, true},
+		{"one over", m + 1, false},
+		{"double", 2 * m, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MustNewCanceler(cfg(m, 2))
+			err := c.Shift(make(logic.Vector, tc.width))
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("rejected exact width: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted width %d", tc.width)
+			}
+			for _, want := range []string{fmt.Sprintf("width %d", tc.width), fmt.Sprintf("want %d", m)} {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q, want it to mention %q", err, want)
+				}
+			}
+			if res := c.Finish(); res.ShiftCycles != 0 || res.TotalX != 0 {
+				t.Fatalf("rejected Shift mutated state: %+v", res)
+			}
+		})
+	}
+}
+
 func TestRunResponsesGeometryError(t *testing.T) {
 	set := scan.NewResponseSet(scan.MustGeometry(4, 4))
 	if _, err := RunResponses(cfg(6, 2), set); err == nil {
 		t.Fatal("accepted chains != m")
+	}
+}
+
+// TestRunResponsesGeometryTable checks the chain-count/MISR-size match on
+// both sides of equality and that mismatch errors name both numbers.
+func TestRunResponsesGeometryTable(t *testing.T) {
+	const m = 6
+	cases := []struct {
+		name   string
+		chains int
+		ok     bool
+	}{
+		{"one chain", 1, false},
+		{"one short", m - 1, false},
+		{"exact", m, true},
+		{"one over", m + 1, false},
+		{"double", 2 * m, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := scan.NewResponseSet(scan.MustGeometry(tc.chains, 3))
+			_, err := RunResponses(cfg(m, 2), set)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("rejected matching geometry: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted %d chains into a %d-input MISR", tc.chains, m)
+			}
+			for _, want := range []string{fmt.Sprintf("%d chains", tc.chains), fmt.Sprintf("%d-input", m)} {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q, want it to mention %q", err, want)
+				}
+			}
+		})
 	}
 }
 

@@ -18,7 +18,7 @@ func Union(a, b *XMap) (*XMap, error) {
 	for _, c := range b.cells {
 		i, ok := out.slot[c.Cell]
 		if !ok {
-			i = out.insertCell(c.Cell)
+			i = out.appendCell(c.Cell)
 		}
 		out.cells[i].Patterns.Or(c.Patterns)
 	}
@@ -40,7 +40,7 @@ func Subtract(a, b *XMap) (*XMap, error) {
 		if bits.IsZero() {
 			continue
 		}
-		i := out.insertCell(c.Cell)
+		i := out.appendCell(c.Cell)
 		out.cells[i].Patterns.Or(bits)
 	}
 	return out, nil
@@ -59,7 +59,7 @@ func SelectPatterns(m *XMap, part gf2.Vec) (*XMap, error) {
 		if bits.IsZero() {
 			continue
 		}
-		i := out.insertCell(c.Cell)
+		i := out.appendCell(c.Cell)
 		out.cells[i].Patterns.Or(bits)
 	}
 	return out, nil

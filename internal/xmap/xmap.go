@@ -31,9 +31,13 @@ func (c CellX) Count() int { return c.Patterns.PopCount() }
 type XMap struct {
 	numPatterns int
 	numCells    int
-	// cells holds the X-capturing cells in ascending cell-index order.
-	cells []CellX
-	// slot maps a cell index to its position in cells.
+	// cells holds the X-capturing cells; ascending cell-index order is
+	// restored lazily (see ensureSorted), so unsorted tracks whether an
+	// out-of-order Add has happened since the last sort.
+	cells    []CellX
+	unsorted bool
+	// slot maps a cell index to its position in cells. It is maintained
+	// eagerly and stays valid whether or not cells is currently sorted.
 	slot map[int]int
 }
 
@@ -78,21 +82,43 @@ func (m *XMap) Add(p, cell int) {
 	}
 	i, ok := m.slot[cell]
 	if !ok {
-		i = m.insertCell(cell)
+		i = m.appendCell(cell)
 	}
 	m.cells[i].Patterns.Set(p)
 }
 
-// insertCell inserts a fresh CellX entry keeping ascending cell order.
-func (m *XMap) insertCell(cell int) int {
-	i := sort.Search(len(m.cells), func(k int) bool { return m.cells[k].Cell >= cell })
-	m.cells = append(m.cells, CellX{})
-	copy(m.cells[i+1:], m.cells[i:])
-	m.cells[i] = CellX{Cell: cell, Patterns: gf2.NewVec(m.numPatterns)}
-	for k := i; k < len(m.cells); k++ {
-		m.slot[m.cells[k].Cell] = k
+// appendCell adds a fresh CellX entry at the end of cells. Keeping the
+// slice sorted on every insert (the previous design) rebuilt the slot map
+// for the whole suffix per new cell — O(n) per insert, O(n^2) to load a
+// map in descending cell order, which dominated large FromResponses
+// builds. Instead the entry is appended in O(1) and the ascending order
+// that XCells and friends promise is restored once, on the next sorted
+// read (ensureSorted). In-order builds never mark the map unsorted and
+// never pay for a sort.
+func (m *XMap) appendCell(cell int) int {
+	i := len(m.cells)
+	m.cells = append(m.cells, CellX{Cell: cell, Patterns: gf2.NewVec(m.numPatterns)})
+	m.slot[cell] = i
+	if i > 0 && m.cells[i-1].Cell > cell {
+		m.unsorted = true
 	}
 	return i
+}
+
+// ensureSorted restores ascending cell order after out-of-order Adds. It
+// mutates cells and slot, so it must not run concurrently with readers:
+// callers that fan XCells/PatternCells readers out across goroutines must
+// touch one sorted accessor at a serial point first (core.newEvaluator
+// does exactly that before starting its worker pool).
+func (m *XMap) ensureSorted() {
+	if !m.unsorted {
+		return
+	}
+	sort.Slice(m.cells, func(a, b int) bool { return m.cells[a].Cell < m.cells[b].Cell })
+	for i, c := range m.cells {
+		m.slot[c.Cell] = i
+	}
+	m.unsorted = false
 }
 
 // Has reports whether cell captures X under pattern p.
@@ -106,7 +132,10 @@ func (m *XMap) Has(p, cell int) bool {
 
 // XCells returns the X-capturing cells in ascending cell-index order.
 // The returned slice and its bitsets are shared; treat as read-only.
-func (m *XMap) XCells() []CellX { return m.cells }
+func (m *XMap) XCells() []CellX {
+	m.ensureSorted()
+	return m.cells
+}
 
 // NumXCells returns the number of cells that capture at least one X.
 func (m *XMap) NumXCells() int { return len(m.cells) }
@@ -141,6 +170,7 @@ func (m *XMap) PatternXCounts() []int {
 
 // PatternCells returns the X-capturing cell indices of pattern p, ascending.
 func (m *XMap) PatternCells(p int) []int {
+	m.ensureSorted()
 	var out []int
 	for _, c := range m.cells {
 		if c.Patterns.Get(p) {
@@ -159,8 +189,9 @@ func (m *XMap) Density() float64 {
 	return float64(m.TotalX()) / float64(total)
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (in sorted order, whatever the source's state).
 func (m *XMap) Clone() *XMap {
+	m.ensureSorted()
 	c := New(m.numPatterns, m.numCells)
 	c.cells = make([]CellX, len(m.cells))
 	for i, ce := range m.cells {
@@ -185,6 +216,8 @@ func (m *XMap) Equal(o *XMap) bool {
 	if m.numPatterns != o.numPatterns || m.numCells != o.numCells || len(m.cells) != len(o.cells) {
 		return false
 	}
+	m.ensureSorted()
+	o.ensureSorted()
 	for i, c := range m.cells {
 		if c.Cell != o.cells[i].Cell || !c.Patterns.Equal(o.cells[i].Patterns) {
 			return false

@@ -1,6 +1,7 @@
 package xmap
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -190,6 +191,40 @@ func TestCountConsistency(t *testing.T) {
 	}
 }
 
+// TestLazySortInterleaved hammers the lazy reindex: sorted reads
+// interleaved with out-of-order Adds must always see ascending order and
+// a valid slot map, including resorting again after a read already
+// restored order once.
+func TestLazySortInterleaved(t *testing.T) {
+	m := New(4, 100)
+	checkSorted := func() {
+		t.Helper()
+		cells := m.XCells()
+		for i := 1; i < len(cells); i++ {
+			if cells[i-1].Cell >= cells[i].Cell {
+				t.Fatalf("XCells not strictly ascending at %d: %+v", i, cells)
+			}
+		}
+		for _, c := range cells {
+			if !m.Has(0, c.Cell) {
+				t.Fatalf("slot map stale for cell %d", c.Cell)
+			}
+		}
+	}
+	for round, batch := range [][]int{{90, 50, 10}, {5, 95, 45}, {44, 46, 4}} {
+		for _, c := range batch {
+			m.Add(0, c)
+		}
+		checkSorted()
+		if got := m.PatternCells(0); len(got) != 3*(round+1) {
+			t.Fatalf("round %d: PatternCells = %v", round, got)
+		}
+	}
+	if m.NumXCells() != 9 || m.TotalX() != 9 {
+		t.Fatalf("NumXCells = %d TotalX = %d, want 9, 9", m.NumXCells(), m.TotalX())
+	}
+}
+
 // Property: insertion order does not matter.
 func TestInsertionOrderIrrelevant(t *testing.T) {
 	f := func(seed int64) bool {
@@ -214,5 +249,43 @@ func TestInsertionOrderIrrelevant(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// benchmarkAddCells loads n distinct cells through Add in the order given
+// by cellAt and forces the one deferred sort with an XCells read.
+func benchmarkAddCells(b *testing.B, n int, cellAt func(c int) int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(1, n)
+		for c := 0; c < n; c++ {
+			m.Add(0, cellAt(c))
+		}
+		if cells := m.XCells(); cells[0].Cell != 0 || cells[n-1].Cell != n-1 {
+			b.Fatal("map not sorted after load")
+		}
+	}
+}
+
+// BenchmarkAddDescending is the regression benchmark for the insertCell
+// O(n^2): loading cells in descending order made every insert shift the
+// whole suffix and rebuild its slot entries, so 10x the cells cost ~100x
+// the time. With the lazy sort the load is O(n) plus one O(n log n) sort,
+// and ns/op grows near-linearly with n across the sub-benchmarks.
+func BenchmarkAddDescending(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchmarkAddCells(b, n, func(c int) int { return n - 1 - c })
+		})
+	}
+}
+
+// BenchmarkAddAscending is the already-sorted baseline (never triggers a
+// sort); descending should track it to within the cost of one sort.
+func BenchmarkAddAscending(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchmarkAddCells(b, n, func(c int) int { return c })
+		})
 	}
 }

@@ -33,7 +33,11 @@ func (x *XLocations) WriteJSON(w io.Writer) error {
 	return json.NewEncoder(w).Encode(out)
 }
 
-// ReadXLocations parses a serialized X-location map.
+// ReadXLocations parses a serialized X-location map. Duplicate cell
+// records and duplicate pattern indices are rejected rather than silently
+// merged: the writer never emits them, so their presence means the file was
+// hand-edited or corrupted, and merging would mask the real total-X count
+// the accounting depends on.
 func ReadXLocations(r io.Reader) (*XLocations, error) {
 	var in jsonXLoc
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -43,12 +47,22 @@ func ReadXLocations(r io.Reader) (*XLocations, error) {
 	if err != nil {
 		return nil, err
 	}
+	seenCell := make(map[int]bool, len(in.Cells))
 	for _, c := range in.Cells {
 		if c.Cell < 0 || c.Cell >= x.Cells() {
 			return nil, fmt.Errorf("xhybrid: cell %d out of range", c.Cell)
 		}
+		if seenCell[c.Cell] {
+			return nil, fmt.Errorf("xhybrid: duplicate record for cell %d", c.Cell)
+		}
+		seenCell[c.Cell] = true
 		chain, pos := c.Cell/in.ChainLen, c.Cell%in.ChainLen
+		seenP := make(map[int]bool, len(c.Patterns))
 		for _, p := range c.Patterns {
+			if seenP[p] {
+				return nil, fmt.Errorf("xhybrid: cell %d: duplicate pattern %d", c.Cell, p)
+			}
+			seenP[p] = true
 			if err := x.AddX(p, chain, pos); err != nil {
 				return nil, err
 			}

@@ -44,3 +44,72 @@ func TestReadXLocationsErrors(t *testing.T) {
 		t.Fatal("accepted out-of-range pattern")
 	}
 }
+
+// TestReadXLocationsDuplicates pins the duplicate-rejection rule. The old
+// reader silently merged duplicate cell records and repeated pattern
+// indices into one X, so a corrupted file loaded with a lower TotalX than
+// its record count implied.
+func TestReadXLocationsDuplicates(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{
+			"duplicate cell record",
+			`{"chains":2,"chainLen":2,"patterns":4,"cells":[{"cell":1,"p":[0]},{"cell":1,"p":[2]}]}`,
+			"duplicate record for cell 1",
+		},
+		{
+			"duplicate pattern index",
+			`{"chains":2,"chainLen":2,"patterns":4,"cells":[{"cell":0,"p":[3,1,3]}]}`,
+			"duplicate pattern 3",
+		},
+		{
+			"duplicate cell with empty pattern list",
+			`{"chains":2,"chainLen":2,"patterns":4,"cells":[{"cell":2,"p":[]},{"cell":2,"p":[]}]}`,
+			"duplicate record for cell 2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadXLocations(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestJSONTextCrossFormat checks the two serializations agree cell for
+// cell: writing the paper example through either format and reading it
+// back through the other must yield byte-identical X maps.
+func TestJSONTextCrossFormat(t *testing.T) {
+	x := PaperExample()
+
+	var js, txt bytes.Buffer
+	if err := x.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadXLocations(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := ReadXLocationsText(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromJSON.m.Equal(fromText.m) {
+		t.Fatal("JSON and text round trips disagree")
+	}
+	if !fromJSON.m.Equal(x.m) {
+		t.Fatal("JSON round trip changed the map")
+	}
+	if fromJSON.geom != x.geom || fromText.geom != x.geom {
+		t.Fatal("round trip changed the geometry")
+	}
+}

@@ -49,7 +49,9 @@ func ReplayCheck(x *XLocations, opt Options, seed int64) (*ReplayReport, error) 
 	if err != nil {
 		return nil, err
 	}
+	endSynth := opt.Stats.Span("replay.synthesize")
 	set, err := workload.ResponsesFromXMap(x.m, x.geom, seed)
+	endSynth()
 	if err != nil {
 		return nil, err
 	}

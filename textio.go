@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -31,7 +32,30 @@ func (x *XLocations) WriteText(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadXLocationsText parses the text format.
+// intFields parses fields[1:] as exactly want integers. Unlike fmt.Sscanf,
+// it rejects trailing garbage ("x 1 2 3 junk") and non-integer fields
+// outright — a record line is valid iff its field count and every field
+// parse exactly.
+func intFields(fields []string, want int, lineNo int) ([]int, error) {
+	if len(fields)-1 != want {
+		return nil, fmt.Errorf("xhybrid: line %d: %s record wants %d integer fields, got %d",
+			lineNo, fields[0], want, len(fields)-1)
+	}
+	out := make([]int, want)
+	for i, f := range fields[1:] {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("xhybrid: line %d: %s record field %d: %q is not an integer",
+				lineNo, fields[0], i+1, f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ReadXLocationsText parses the text format. Parsing is strict: every
+// record must carry exactly its field count (no trailing garbage) and all
+// fields must be integers; errors name the offending line.
 func ReadXLocationsText(r io.Reader) (*XLocations, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -49,12 +73,11 @@ func ReadXLocationsText(r io.Reader) (*XLocations, error) {
 			if x != nil {
 				return nil, fmt.Errorf("xhybrid: line %d: duplicate design line", lineNo)
 			}
-			var chains, chainLen, patterns int
-			if _, err := fmt.Sscanf(line, "design %d %d %d", &chains, &chainLen, &patterns); err != nil {
-				return nil, fmt.Errorf("xhybrid: line %d: bad design line: %w", lineNo, err)
+			v, err := intFields(fields, 3, lineNo)
+			if err != nil {
+				return nil, err
 			}
-			var err error
-			x, err = NewXLocations(chains, chainLen, patterns)
+			x, err = NewXLocations(v[0], v[1], v[2])
 			if err != nil {
 				return nil, fmt.Errorf("xhybrid: line %d: %w", lineNo, err)
 			}
@@ -62,21 +85,22 @@ func ReadXLocationsText(r io.Reader) (*XLocations, error) {
 			if x == nil {
 				return nil, fmt.Errorf("xhybrid: line %d: x before design", lineNo)
 			}
-			var p, chain, pos int
-			if _, err := fmt.Sscanf(line, "x %d %d %d", &p, &chain, &pos); err != nil {
-				return nil, fmt.Errorf("xhybrid: line %d: bad x line: %w", lineNo, err)
+			v, err := intFields(fields, 3, lineNo)
+			if err != nil {
+				return nil, err
 			}
-			if err := x.AddX(p, chain, pos); err != nil {
+			if err := x.AddX(v[0], v[1], v[2]); err != nil {
 				return nil, fmt.Errorf("xhybrid: line %d: %w", lineNo, err)
 			}
 		case "xr":
 			if x == nil {
 				return nil, fmt.Errorf("xhybrid: line %d: xr before design", lineNo)
 			}
-			var p, chain, from, to int
-			if _, err := fmt.Sscanf(line, "xr %d %d %d %d", &p, &chain, &from, &to); err != nil {
-				return nil, fmt.Errorf("xhybrid: line %d: bad xr line: %w", lineNo, err)
+			v, err := intFields(fields, 4, lineNo)
+			if err != nil {
+				return nil, err
 			}
+			p, chain, from, to := v[0], v[1], v[2], v[3]
 			if to < from {
 				return nil, fmt.Errorf("xhybrid: line %d: xr run reversed", lineNo)
 			}

@@ -70,3 +70,42 @@ func TestTextErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestTextStrictFields pins the strict field-count rule. The old Sscanf
+// parser silently accepted trailing garbage ("x 1 2 3 junk",
+// "design 8 10 4 extra"), so a truncated or corrupted dump could load as a
+// smaller, valid-looking map. Every malformed shape must be rejected with
+// an error naming the offending line.
+func TestTextStrictFields(t *testing.T) {
+	cases := []struct {
+		name, in, wantLine string
+	}{
+		{"x trailing garbage", "design 4 4 4\nx 1 2 3 junk", "line 2"},
+		{"design trailing garbage", "design 8 10 4 extra", "line 1"},
+		{"xr trailing garbage", "design 4 8 4\nxr 1 2 3 4 5", "line 2"},
+		{"x extra int field", "design 4 4 4\nx 1 2 3 0", "line 2"},
+		{"design too few fields", "design 8 10", "line 1"},
+		{"xr too few fields", "design 4 8 4\nxr 1 2 3", "line 2"},
+		{"x float field", "design 4 4 4\nx 1 2 3.5", "line 2"},
+		{"design hex field", "design 0x8 10 4", "line 1"},
+		{"x field with sign glue", "design 4 4 4\nx 1 2 +3junk", "line 2"},
+		{"blank lines shift numbering", "\n\ndesign 4 4 4\n\nx 0 0 0 oops", "line 5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadXLocationsText(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("accepted malformed input: %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Fatalf("error %q does not name %s", err, tc.wantLine)
+			}
+		})
+	}
+
+	// Negative integers are still legal syntax; range checks (not the
+	// tokenizer) reject them.
+	if _, err := ReadXLocationsText(strings.NewReader("design 4 4 4\nx -1 0 0")); err == nil {
+		t.Fatal("negative pattern index accepted")
+	}
+}

@@ -7,11 +7,22 @@ import (
 	"xhybrid/internal/core"
 	"xhybrid/internal/correlation"
 	"xhybrid/internal/misr"
+	"xhybrid/internal/obs"
 	"xhybrid/internal/scan"
 	"xhybrid/internal/workload"
 	"xhybrid/internal/xcancel"
 	"xhybrid/internal/xmap"
 )
+
+// Stats is the observability recorder of the hybrid pipeline: set one on
+// Options.Stats and the partitioner, canceling paths and replay record
+// per-stage wall time and counters (rounds, splits scored, halts, cycles
+// replayed) into it. A nil *Stats disables observation with no overhead.
+// Obtain a report with Snapshot.
+type Stats = obs.Recorder
+
+// NewStats returns an empty enabled recorder.
+func NewStats() *Stats { return obs.New() }
 
 // XLocations records which scan cells capture unknown (X) values under
 // which test patterns — the only view of the output responses the paper's
@@ -124,6 +135,9 @@ type Options struct {
 	// Workers bounds the goroutines used by the partitioning hot loops
 	// (0 = all CPUs). The plan is identical for any worker count.
 	Workers int
+	// Stats, when non-nil, receives the pipeline's counters and per-stage
+	// spans (see Stats). The hot paths pay nothing when it is nil.
+	Stats *Stats
 }
 
 func (o Options) params(geom scan.Geometry) (core.Params, error) {
@@ -159,6 +173,7 @@ func (o Options) params(geom scan.Geometry) (core.Params, error) {
 		Seed:      o.Seed,
 		MaxRounds: o.MaxRounds,
 		Workers:   o.Workers,
+		Obs:       o.Stats,
 	}, nil
 }
 
