@@ -296,27 +296,9 @@ func partition(x *xhybrid.XLocations, opt xhybrid.Options, verbose bool) {
 	if err != nil {
 		die(err)
 	}
-	fmt.Printf("design: %d chains x %d cells, %d patterns, %d X's\n",
-		x.Chains(), x.ChainLen(), x.Patterns(), plan.TotalX)
-	if verbose {
-		for _, r := range plan.Rounds {
-			verdict := "accepted"
-			if !r.Accepted {
-				verdict = "rejected (stop)"
-			}
-			fmt.Printf("round %d: split on cell %d, cost %d -> %d  [%s]\n",
-				r.Round, r.SplitCell, r.CostBefore, r.CostAfter, verdict)
-		}
-		for i, p := range plan.Partitions {
-			fmt.Printf("partition %d: %d patterns, %d masked cells, %d X's removed\n",
-				i+1, len(p.Patterns), len(p.MaskedCells), p.MaskedX)
-		}
+	// The shared renderer keeps this output byte-identical to the serving
+	// layer's format=text responses (see internal/server).
+	if err := plan.WriteText(os.Stdout, x, verbose); err != nil {
+		die(err)
 	}
-	fmt.Printf("partitions:            %d\n", len(plan.Partitions))
-	fmt.Printf("masked X:              %d of %d (residual %d)\n", plan.MaskedX, plan.TotalX, plan.ResidualX)
-	fmt.Printf("control bits:          masks %d + canceling %d = %d\n", plan.MaskBits, plan.CancelBits, plan.TotalBits)
-	fmt.Printf("X-masking only [5]:    %d  (improvement %.2fx)\n", plan.MaskOnlyBits, plan.ImprovementOverMaskOnly)
-	fmt.Printf("X-canceling only [12]: %d  (improvement %.2fx)\n", plan.CancelOnlyBits, plan.ImprovementOverCancelOnly)
-	fmt.Printf("normalized test time:  %.3f vs %.3f canceling-only (%.2fx faster)\n",
-		plan.TestTimeHybrid, plan.TestTimeCancelOnly, plan.TestTimeImprovement)
 }

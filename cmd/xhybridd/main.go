@@ -1,0 +1,83 @@
+// Command xhybridd serves the hybrid partition/plan pipeline as a
+// long-running HTTP/JSON service (see internal/server and the README's API
+// reference).
+//
+// Usage:
+//
+//	xhybridd [-addr :8471] [-cache 128] [-queue 64] [-concurrency N]
+//	         [-job-workers N] [-job-timeout 60s] [-drain 30s]
+//
+// Endpoints:
+//
+//	POST /v1/partition   X-map in the body (JSON, or text with input=text /
+//	                     a text/* Content-Type); options m, q, strategy,
+//	                     seed, rounds, workers, verbose, format=json|text
+//	                     as query parameters. format=text bodies are
+//	                     byte-identical to `xhybrid partition` stdout.
+//	POST /v1/analyze     Section 3 correlation analysis of the posted X-map.
+//	GET  /healthz        liveness probe.
+//	GET  /metrics        Prometheus text exposition of every server and
+//	                     pipeline counter (cache hits/misses, queue depth,
+//	                     rounds, splits scored, stage spans, ...).
+//	GET  /debug/pprof/   live profiling of the serving process.
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the listener closes and
+// in-flight jobs drain for up to -drain before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"xhybrid/internal/obs"
+	"xhybrid/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8471", "listen address")
+	cache := flag.Int("cache", 128, "LRU result-cache capacity in plans (negative disables)")
+	queue := flag.Int("queue", 64, "max requests waiting for a job slot")
+	concurrency := flag.Int("concurrency", 0, "max partition jobs computing at once (0 = all CPUs)")
+	jobWorkers := flag.Int("job-workers", 0, "worker-goroutine ceiling per job (0 = all CPUs)")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job compute deadline (0 = unbounded)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "xhybridd: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		CacheSize:        *cache,
+		MaxConcurrent:    *concurrency,
+		MaxQueue:         *queue,
+		MaxWorkersPerJob: *jobWorkers,
+		JobTimeout:       *jobTimeout,
+		DrainTimeout:     *drain,
+		Obs:              obs.New(),
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("xhybridd: listening on %s (cache=%d queue=%d concurrency=%d)",
+		*addr, *cache, *queue, effective(*concurrency))
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatalf("xhybridd: %v", err)
+	}
+	log.Printf("xhybridd: drained, bye")
+}
+
+func effective(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -102,11 +103,12 @@ func BenchmarkMaskedXIn(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	e := &evaluator{
-		m:      m,
-		params: Params{Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}},
-		totalX: m.TotalX(),
-	}
+	// newEvaluator (not a bare literal) so the pool is real: the bare
+	// struct used to panic on the nil pool the moment maskedXIn fanned out.
+	e := newEvaluator(context.Background(), m, Params{
+		Geom: prof.Geometry(), Cancel: xcancel.Config{MISR: misr.MustStandard(32), Q: 7}, Workers: 1,
+	})
+	defer e.close()
 	all := gf2.NewVec(m.Patterns())
 	all.SetAll()
 	b.ResetTimer()

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"xhybrid/internal/misr"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xcancel"
+)
+
+// TestRunCtxCancelMidRunNoLeaks cancels a paper-scale run (CKT-B: 3000
+// patterns, 36k cells; the greedy strategy makes the run take seconds) 50ms
+// in and checks the three cancellation guarantees: the error surfaces as
+// context.Canceled, the return is prompt (the scoring loops poll the
+// context every few microseconds of work, not per round), and the
+// evaluator's pool goroutines are all released — the goroutine count
+// returns to its pre-run level.
+func TestRunCtxCancelMidRunNoLeaks(t *testing.T) {
+	prof := workload.CKTB()
+	m, err := prof.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{
+		Geom:     prof.Geometry(),
+		Cancel:   xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+		Strategy: StrategyGreedyCost,
+		Workers:  8,
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunCtx(ctx, m, params)
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("run completed despite mid-run cancel (uncancelable path?)")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+	if res != nil {
+		t.Fatal("canceled run returned a partial result")
+	}
+	// The uncanceled greedy run takes seconds; a prompt abort returns well
+	// inside this budget even under -race.
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestRunCtxDeadline covers the deadline flavor on the same workload.
+func TestRunCtxDeadline(t *testing.T) {
+	prof := workload.CKTB()
+	m, err := prof.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = RunCtx(ctx, m, Params{
+		Geom:     prof.Geometry(),
+		Cancel:   xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+		Strategy: StrategyGreedyCost,
+		Workers:  4,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunCtxPreCanceled: a dead context aborts before any compute.
+func TestRunCtxPreCanceled(t *testing.T) {
+	m := fig4()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := runtime.NumGoroutine()
+	if _, err := RunCtx(ctx, m, fig4Params(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := RunClusteredCtx(ctx, m, fig4Params(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunClusteredCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := EvaluateCtx(ctx, m, fig4Params(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateCtx err = %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestRunCtxBackgroundMatchesRun: threading a live context changes nothing
+// about the plan (Run is RunCtx(Background)).
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	m := fig4()
+	p := fig4Params(2)
+	want, err := Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCtx(context.Background(), m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.TotalBits != got.TotalBits || len(want.Partitions) != len(got.Partitions) || len(want.Rounds) != len(got.Rounds) {
+		t.Fatalf("RunCtx(Background) diverged: %+v vs %+v", want, got)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// pre-run baseline (the canceling helper and pool workers unwind
+// asynchronously after RunCtx returns).
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancel: before=%d now=%d", before, now)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,6 +23,13 @@ import (
 // messy overlap the one-pass greedy can trade slightly worse totals for a
 // single pass over the patterns.
 func RunClustered(m *xmap.XMap, params Params) (*Result, error) {
+	return RunClusteredCtx(context.Background(), m, params)
+}
+
+// RunClusteredCtx is RunClustered under a context: the greedy join pass and
+// the O(n²) merge hill-climb both poll ctx and abort with a wrapped context
+// error, releasing the worker pool before returning.
+func RunClusteredCtx(ctx context.Context, m *xmap.XMap, params Params) (*Result, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -32,7 +40,7 @@ func RunClustered(m *xmap.XMap, params Params) (*Result, error) {
 		return nil, ErrEmptyPatterns
 	}
 	defer params.Obs.Span("core.cluster")()
-	e := newEvaluator(m, params)
+	e := newEvaluator(ctx, m, params)
 	defer e.close()
 
 	mSize, q := params.Cancel.MISR.Size, params.Cancel.Q
@@ -55,7 +63,12 @@ func RunClustered(m *xmap.XMap, params Params) (*Result, error) {
 	// maxClusters bounds the greedy phase; the merge pass below cleans up.
 	const maxClusters = 32
 	var rest []int
-	for _, p := range order {
+	for pi, p := range order {
+		if pi&cancelCheckMask == 0 {
+			if err := e.err(); err != nil {
+				return nil, err
+			}
+		}
 		sig := m.PatternCells(p)
 		if len(sig) == 0 {
 			// X-free patterns need no mask; keep them out of the clusters
@@ -134,6 +147,9 @@ func RunClustered(m *xmap.XMap, params Params) (*Result, error) {
 	}
 	cost := e.cost(parts, maskedX)
 	for len(parts) > 1 {
+		if err := e.err(); err != nil {
+			return nil, err
+		}
 		bestI, bestJ, bestCost := -1, -1, cost
 		for i := 0; i < len(parts); i++ {
 			for j := i + 1; j < len(parts); j++ {

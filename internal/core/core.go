@@ -11,9 +11,14 @@
 // removes are retired by the X-canceling MISR. A cost function — the total
 // control bits of masks plus canceling — decides when another round of
 // partitioning stops paying for itself.
+//
+// This package implements DESIGN.md §5.2 (Algorithm 1: candidate grouping,
+// split selection, cost check, and the strategy variants) and §5.4 (the
+// hybrid pipeline from X-map to ControlBitReport).
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -234,6 +239,12 @@ type evaluator struct {
 	totalX int
 	pool   *pool.Pool
 
+	// ctx aborts the run; done caches ctx.Done() so the hot loops can poll
+	// with one channel select instead of a ctx.Err() mutex round-trip. A
+	// nil done channel (context.Background) never fires.
+	ctx  context.Context
+	done <-chan struct{}
+
 	// Cached observability handles (nil when params.Obs is nil, which
 	// makes every recording below a single-branch no-op).
 	obsRounds     *obs.Counter
@@ -244,7 +255,7 @@ type evaluator struct {
 
 // newEvaluator builds the run state; the caller must Close the evaluator's
 // pool when done.
-func newEvaluator(m *xmap.XMap, params Params) *evaluator {
+func newEvaluator(ctx context.Context, m *xmap.XMap, params Params) *evaluator {
 	// Force the X-map's lazy cell reindex at this serial point, before the
 	// pool fans XCells readers out over worker goroutines.
 	m.XCells()
@@ -253,6 +264,8 @@ func newEvaluator(m *xmap.XMap, params Params) *evaluator {
 		params: params,
 		totalX: m.TotalX(),
 		pool:   pool.New(params.workers()),
+		ctx:    ctx,
+		done:   ctx.Done(),
 
 		obsRounds:     params.Obs.Counter("core.rounds"),
 		obsAccepted:   params.Obs.Counter("core.rounds.accepted"),
@@ -271,9 +284,32 @@ func (e *evaluator) close() {
 	e.pool.Close()
 }
 
+// canceled reports whether the run's context has been canceled. One channel
+// poll, so the hot loops can call it at every unit of work; a Background
+// context compiles down to a select on a nil channel.
+func (e *evaluator) canceled() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// err maps cancellation onto the error Run and RunClustered return: nil
+// while the context is live, a wrapped context error (matching
+// errors.Is(err, context.Canceled/DeadlineExceeded)) once it is done.
+func (e *evaluator) err() error {
+	if err := e.ctx.Err(); err != nil {
+		return fmt.Errorf("core: run aborted: %w", err)
+	}
+	return nil
+}
+
 // maskedXIn returns how many X's a shared mask removes in the partition.
 // The per-cell membership tests fan out over the pool; the integer sum is
-// order-independent.
+// order-independent. A canceled run short-circuits to 0 — the caller
+// discards the round's results once it observes the cancellation.
 func (e *evaluator) maskedXIn(part gf2.Vec) int {
 	size := part.PopCount()
 	if size == 0 {
@@ -282,12 +318,20 @@ func (e *evaluator) maskedXIn(part gf2.Vec) int {
 	e.obsRecomputes.Inc()
 	cells := e.m.XCells()
 	return e.pool.SumInt(len(cells), func(i int) int {
+		if i&cancelCheckMask == 0 && e.canceled() {
+			return 0
+		}
 		if cells[i].Patterns.PopCountAnd(part) == size {
 			return size
 		}
 		return 0
 	})
 }
+
+// cancelCheckMask spaces the cancellation polls of the per-cell loops: one
+// channel select every 64 cells keeps the abort latency in the microseconds
+// while staying invisible next to the popcount work per cell.
+const cancelCheckMask = 63
 
 // maskCellsIn returns how many cells the shared mask covers.
 func (e *evaluator) maskCellsIn(part gf2.Vec) int {
@@ -297,6 +341,9 @@ func (e *evaluator) maskCellsIn(part gf2.Vec) int {
 	}
 	cells := e.m.XCells()
 	return e.pool.SumInt(len(cells), func(i int) int {
+		if i&cancelCheckMask == 0 && e.canceled() {
+			return 0
+		}
 		if cells[i].Patterns.PopCountAnd(part) == size {
 			return 1
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"xhybrid/internal/xcancel"
 	"xhybrid/internal/xmap"
 	"xhybrid/internal/xmask"
@@ -44,7 +46,13 @@ type Comparison struct {
 
 // Evaluate runs the partitioner and assembles the full baseline comparison.
 func Evaluate(m *xmap.XMap, params Params) (*Comparison, error) {
-	res, err := Run(m, params)
+	return EvaluateCtx(context.Background(), m, params)
+}
+
+// EvaluateCtx is Evaluate under a context; cancellation propagates into the
+// partitioner exactly as in RunCtx.
+func EvaluateCtx(ctx context.Context, m *xmap.XMap, params Params) (*Comparison, error) {
+	res, err := RunCtx(ctx, m, params)
 	if err != nil {
 		return nil, err
 	}

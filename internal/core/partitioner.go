@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -22,12 +23,23 @@ type split struct {
 
 // Run executes the partitioning algorithm on the X-map of a pattern set and
 // returns the full hybrid accounting. The X-map dimensions must match the
-// geometry (Cells) — patterns are taken from the map.
+// geometry (Cells) — patterns are taken from the map. It is RunCtx with a
+// background context (the run cannot be canceled).
+func Run(m *xmap.XMap, params Params) (*Result, error) {
+	return RunCtx(context.Background(), m, params)
+}
+
+// RunCtx is Run under a context: when ctx is canceled or its deadline
+// passes, the partitioner stops mid-round — the split-scoring loops, the
+// per-cell correlation counting and the masked-X recomputation all poll the
+// context — and returns an error matching errors.Is(err, ctx.Err()). The
+// evaluator's worker pool is released before returning, so a canceled run
+// leaks no goroutines.
 //
 // The hot loops (candidate scoring, masked-X recomputation) fan out over
 // Params.Workers goroutines with deterministic reductions: the result is
 // byte-identical for any worker count.
-func Run(m *xmap.XMap, params Params) (*Result, error) {
+func RunCtx(ctx context.Context, m *xmap.XMap, params Params) (*Result, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,7 +50,7 @@ func Run(m *xmap.XMap, params Params) (*Result, error) {
 		return nil, ErrEmptyPatterns
 	}
 	defer params.Obs.Span("core.run")()
-	e := newEvaluator(m, params)
+	e := newEvaluator(ctx, m, params)
 	defer e.close()
 	rng := rand.New(rand.NewSource(params.Seed))
 
@@ -53,6 +65,9 @@ func Run(m *xmap.XMap, params Params) (*Result, error) {
 	round := 0
 outer:
 	for {
+		if err := e.err(); err != nil {
+			return nil, err
+		}
 		var attempts []split
 		switch params.Strategy {
 		case StrategyPaper, StrategyPaperRandom:
@@ -71,6 +86,9 @@ outer:
 		}
 		committed := false
 		for _, cand := range attempts {
+			if err := e.err(); err != nil {
+				return nil, err
+			}
 			round++
 			if params.MaxRounds > 0 && round > params.MaxRounds {
 				break outer
@@ -101,6 +119,11 @@ outer:
 			break
 		}
 	}
+	// The selectors short-circuit once the context dies; a break out of the
+	// loop may therefore reflect an aborted scan rather than convergence.
+	if err := e.err(); err != nil {
+		return nil, err
+	}
 
 	return e.finalize(parts, rounds), nil
 }
@@ -112,10 +135,10 @@ outer:
 func (e *evaluator) groupsPerPartition(parts []gf2.Vec) [][]correlation.Group {
 	groups := make([][]correlation.Group, len(parts))
 	e.pool.ForEach(len(parts), func(i int) {
-		if parts[i].PopCount() < 2 {
+		if e.canceled() || parts[i].PopCount() < 2 {
 			return
 		}
-		groups[i] = correlation.GroupsWithinObs(e.m, parts[i], e.pool, e.params.Obs)
+		groups[i] = correlation.GroupsWithinCtx(e.ctx, e.m, parts[i], e.pool, e.params.Obs)
 	})
 	return groups
 }
@@ -233,7 +256,10 @@ func (e *evaluator) selectGreedy(parts []gf2.Vec, maskedX []int, cost int) *spli
 		}
 		sigIdx := make(map[string]int)
 		var cands []cand
-		for _, c := range e.m.XCells() {
+		for ci, c := range e.m.XCells() {
+			if ci&cancelCheckMask == 0 && e.canceled() {
+				return
+			}
 			n := c.Patterns.PopCountAnd(p)
 			if n == 0 || n >= size {
 				continue
@@ -269,6 +295,9 @@ func (e *evaluator) selectGreedy(parts []gf2.Vec, maskedX []int, cost int) *spli
 	e.obsScored.Add(int64(len(all)))
 	costs := make([]int, len(all))
 	e.pool.ForEach(len(all), func(k int) {
+		if e.canceled() {
+			return
+		}
 		np, nm := e.applySplit(parts, maskedX, all[k])
 		costs[k] = e.cost(np, nm)
 	})

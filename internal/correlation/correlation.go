@@ -5,9 +5,14 @@
 // equal-count group capture their X's under the *same* set of test
 // patterns). The partitioning algorithm in internal/core is driven by the
 // grouping primitives defined here.
+//
+// This package implements step 1 of DESIGN.md §5.2: grouping a partition's
+// X-capturing cells by in-partition X count, the candidate source for every
+// split the partitioner considers.
 package correlation
 
 import (
+	"context"
 	"sort"
 
 	"xhybrid/internal/gf2"
@@ -73,11 +78,30 @@ func GroupsWithinPool(m *xmap.XMap, part gf2.Vec, pl *pool.Pool) []Group {
 // correlation.cells.counted the per-cell X-count evaluations (the hot
 // multiply of the partitioner). A nil rec disables recording.
 func GroupsWithinObs(m *xmap.XMap, part gf2.Vec, pl *pool.Pool, rec *obs.Recorder) []Group {
+	return GroupsWithinCtx(context.Background(), m, part, pl, rec)
+}
+
+// GroupsWithinCtx is GroupsWithinObs under a context: the per-cell counting
+// loop — the partitioner's hot multiply — polls ctx every 64 cells and
+// stops counting once it is done. A canceled call returns whatever partial
+// grouping fell out; the caller (core.RunCtx) observes the cancellation
+// itself and discards the round, so the partial result never escapes.
+func GroupsWithinCtx(ctx context.Context, m *xmap.XMap, part gf2.Vec, pl *pool.Pool, rec *obs.Recorder) []Group {
 	rec.Add("correlation.groupings", 1)
 	cells := m.XCells()
 	rec.Add("correlation.cells.counted", int64(len(cells)))
+	done := ctx.Done()
 	counts := make([]int, len(cells))
-	count := func(i int) { counts[i] = cells[i].Patterns.PopCountAnd(part) }
+	count := func(i int) {
+		if i&63 == 0 && done != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+		counts[i] = cells[i].Patterns.PopCountAnd(part)
+	}
 	if pl != nil {
 		pl.ForEach(len(cells), count)
 	} else {

@@ -5,6 +5,10 @@
 // models (mask stage → spatial compactor → symbolic X-canceling MISR) to
 // verify that the program behaves as accounted: every extracted signature
 // is X-free and no observable capture was masked.
+//
+// This package implements the ATE scheduling extension of DESIGN.md §7 and
+// the end-to-end replay leg of the verification strategy in §8 (signatures
+// checked against symbolic prediction, observable captures never masked).
 package flow
 
 import (

@@ -10,6 +10,10 @@
 // accumulators are atomics, so pool workers can record without
 // serialization. Snapshot gives a consistent-enough view for reporting (it
 // does not stop concurrent writers).
+//
+// This package implements the observability layer of DESIGN.md §7 (an
+// infrastructure extension beyond the paper); the stages it instruments are
+// the §5.2-§5.4 pipeline.
 package obs
 
 import (

@@ -11,6 +11,10 @@
 // out on the same pool. Submission never blocks — when every worker is busy
 // the submitting goroutine runs the chunk inline — so nesting cannot
 // deadlock, it only degrades to inline execution.
+//
+// This package implements the deterministic parallel execution engine of
+// DESIGN.md §7 (an infrastructure extension beyond the paper; the
+// algorithms it accelerates are §5.2-§5.4).
 package pool
 
 import (

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"xhybrid"
+	"xhybrid/internal/obs"
+)
+
+// planDigest returns the cache key for one (X-map, options) pair: a sha256
+// over the canonical JSON serialization of the X-location map (cells and
+// pattern indices ascending, so logically equal maps digest equally
+// regardless of insertion order or input format) followed by every
+// plan-shaping option. Options.Workers and Options.Stats are excluded on
+// purpose: the engine is byte-identical for any worker count, and the
+// recorder never shapes the plan, so requests differing only there share a
+// cache entry.
+func planDigest(x *xhybrid.XLocations, opt xhybrid.Options) (string, error) {
+	h := sha256.New()
+	if err := x.WriteJSON(h); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(h, "m=%d;q=%d;strategy=%s;seed=%d;maxRounds=%d",
+		opt.MISRSize, opt.Q, opt.Strategy, opt.Seed, opt.MaxRounds)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// resultCache is a mutex-guarded LRU of computed plans. Entries are shared
+// across requests and must be treated as immutable by every reader — the
+// handlers only serialize them.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	entries   *obs.Counter
+}
+
+type cacheEntry struct {
+	key  string
+	plan *xhybrid.Plan
+}
+
+// newResultCache returns an LRU holding up to capacity plans; capacity <= 0
+// disables caching (every lookup misses, every store is dropped), which
+// keeps the handler logic branch-free.
+func newResultCache(capacity int, rec *obs.Recorder) *resultCache {
+	return &resultCache{
+		cap:       capacity,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      rec.Counter("server.cache.hits"),
+		misses:    rec.Counter("server.cache.misses"),
+		evictions: rec.Counter("server.cache.evictions"),
+		entries:   rec.Counter("server.cache.entries"),
+	}
+}
+
+// get returns the cached plan for key, promoting it to most recently used.
+func (c *resultCache) get(key string) (*xhybrid.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// put stores the plan under key, evicting the least recently used entry
+// when the cache is full. Re-storing an existing key only promotes it.
+func (c *resultCache) put(key string, plan *xhybrid.Plan) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).plan = plan
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.entries.Set(int64(c.ll.Len()))
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xhybrid/internal/obs"
+)
+
+// writeMetrics renders a recorder snapshot in the Prometheus text
+// exposition format: every counter becomes one `xhybridd_<name>` sample and
+// every stage span a `_count` / `_nanos_total` pair. Dots and other
+// non-identifier runes in the recorder's names map to underscores, so
+// "server.cache.hits" scrapes as xhybridd_server_cache_hits.
+func writeMetrics(w io.Writer, snap obs.Snapshot) error {
+	for _, c := range snap.Counters {
+		name := metricName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, s := range snap.Spans {
+		name := metricName(s.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_count counter\n%s_count %d\n", name, name, s.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_nanos_total counter\n%s_nanos_total %d\n", name, name, int64(s.Total)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func metricName(raw string) string {
+	var b strings.Builder
+	b.WriteString("xhybridd_")
+	for _, r := range raw {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errQueueFull reports a request that found every job slot busy and the
+// wait queue at capacity; the handler maps it to 503 + Retry-After.
+var errQueueFull = errors.New("server: job queue full")
+
+// jobQueue is the admission controller of the serving layer: at most
+// `concurrent` partition jobs run at once and at most `maxWait` requests
+// wait for a slot. There is no unbounded buffering anywhere — a request
+// beyond both budgets is rejected immediately, which keeps tail latency
+// bounded under overload instead of letting the queue absorb it.
+type jobQueue struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+}
+
+func newJobQueue(concurrent, maxWait int) *jobQueue {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &jobQueue{slots: make(chan struct{}, concurrent), maxWait: int64(maxWait)}
+}
+
+// acquire blocks until a job slot is free, the wait queue overflows
+// (errQueueFull) or ctx is done (its error). A nil return must be paired
+// with release.
+func (q *jobQueue) acquire(ctx context.Context) error {
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if q.waiting.Add(1) > q.maxWait {
+		q.waiting.Add(-1)
+		return errQueueFull
+	}
+	defer q.waiting.Add(-1)
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (q *jobQueue) release() { <-q.slots }
+
+// depth reports the running and waiting job counts (scrape-time gauges).
+func (q *jobQueue) depth() (running, waiting int64) {
+	return int64(len(q.slots)), q.waiting.Load()
+}

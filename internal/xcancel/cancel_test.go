@@ -1,0 +1,42 @@
+package xcancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/scan"
+)
+
+// TestRunPartitionedCtxCanceled: a dead context skips every session and
+// surfaces as context.Canceled; a live one matches RunPartitioned exactly.
+func TestRunPartitionedCtxCanceled(t *testing.T) {
+	geom := scan.MustGeometry(4, 2)
+	set := scan.NewResponseSet(geom)
+	resp := scan.NewResponse(geom)
+	resp.Set(0, 1, logic.X)
+	if err := set.Append(resp); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MISR: misr.MustStandard(4), Q: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPartitionedCtx(ctx, cfg, []*scan.ResponseSet{set}, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	want, err := RunPartitioned(cfg, []*scan.ResponseSet{set}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunPartitionedCtx(context.Background(), cfg, []*scan.ResponseSet{set}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.ControlBits != got.ControlBits || want.TotalX != got.TotalX || want.Halts != got.Halts {
+		t.Fatalf("live-context run diverged: %+v vs %+v", want, got)
+	}
+}

@@ -1,6 +1,7 @@
 package xcancel
 
 import (
+	"context"
 	"fmt"
 
 	"xhybrid/internal/pool"
@@ -41,6 +42,15 @@ func (r PartitionedResult) NormalizedTime() float64 {
 // parallel; results are collected in partition order, so the outcome is
 // deterministic for any worker count.
 func RunPartitioned(cfg Config, sets []*scan.ResponseSet, workers int) (*PartitionedResult, error) {
+	return RunPartitionedCtx(context.Background(), cfg, sets, workers)
+}
+
+// RunPartitionedCtx is RunPartitioned under a context: each partition
+// session checks ctx before its symbolic MISR pass starts, so a canceled
+// call skips every session not yet begun and returns a wrapped context
+// error. Sessions already in flight run to completion (one session is the
+// unit of cancellation); the pool is released before returning.
+func RunPartitionedCtx(ctx context.Context, cfg Config, sets []*scan.ResponseSet, workers int) (*PartitionedResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -49,6 +59,9 @@ func RunPartitioned(cfg Config, sets []*scan.ResponseSet, workers int) (*Partiti
 	pl := pool.New(workers)
 	defer pl.Close()
 	pl.ForEach(len(sets), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		res, err := RunResponses(cfg, sets[i])
 		if err != nil {
 			errs[i] = fmt.Errorf("xcancel: partition %d: %w", i, err)
@@ -56,6 +69,9 @@ func RunPartitioned(cfg Config, sets []*scan.ResponseSet, workers int) (*Partiti
 		}
 		out.PerPartition[i] = res
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("xcancel: partitioned run aborted: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

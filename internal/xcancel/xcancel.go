@@ -9,6 +9,9 @@
 // Table 1 (control bits and normalized test time as functions of the total
 // X count, MISR size m, and X-free combination count q) and a cycle-level
 // session controller over a symbolic MISR for end-to-end demonstrations.
+//
+// This package implements DESIGN.md §5.3 (symbolic MISR sessions, halting,
+// X-free extraction, and the control-bit / test-time accounting).
 package xcancel
 
 import (

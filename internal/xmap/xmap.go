@@ -4,6 +4,10 @@
 // correlation analysis, partitioning algorithm, and control-bit accounting
 // need, and it stays small even for industrial designs because X-densities
 // are low (fractions of a percent to a few percent).
+//
+// This package implements DESIGN.md §5.1: per-cell pattern bitsets plus
+// per-pattern X-cell lists, with cells indexed chain-major
+// (cell = chain*chainLen + position).
 package xmap
 
 import (

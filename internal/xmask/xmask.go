@@ -12,6 +12,11 @@
 //     per scan cell per *partition*; a cell is masked only if it captures an
 //     X under every pattern of the partition, so no observable value is
 //     ever lost and fault coverage is preserved by construction.
+//
+// This package implements the masking rule of DESIGN.md §5.2 (a cell is
+// masked iff its in-partition X count equals the partition size) and the
+// fault-coverage guarantee of §5.4 (VerifySafe refuses to cover any
+// observable bit).
 package xmask
 
 import (

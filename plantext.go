@@ -1,0 +1,51 @@
+package xhybrid
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the plan in the exact format cmd/xhybrid's "partition"
+// subcommand prints: the design line, the optional per-round trace and
+// partition list (verbose), and the accounting block with both baselines.
+// cmd/xhybrid and the xhybridd serving layer both call this renderer, which
+// is what makes a served text response byte-identical to the CLI's stdout
+// for the same input and options.
+func (p *Plan) WriteText(w io.Writer, x *XLocations, verbose bool) error {
+	if _, err := fmt.Fprintf(w, "design: %d chains x %d cells, %d patterns, %d X's\n",
+		x.Chains(), x.ChainLen(), x.Patterns(), p.TotalX); err != nil {
+		return err
+	}
+	if verbose {
+		for _, r := range p.Rounds {
+			verdict := "accepted"
+			if !r.Accepted {
+				verdict = "rejected (stop)"
+			}
+			if _, err := fmt.Fprintf(w, "round %d: split on cell %d, cost %d -> %d  [%s]\n",
+				r.Round, r.SplitCell, r.CostBefore, r.CostAfter, verdict); err != nil {
+				return err
+			}
+		}
+		for i, part := range p.Partitions {
+			if _, err := fmt.Fprintf(w, "partition %d: %d patterns, %d masked cells, %d X's removed\n",
+				i+1, len(part.Patterns), len(part.MaskedCells), part.MaskedX); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"partitions:            %d\n"+
+			"masked X:              %d of %d (residual %d)\n"+
+			"control bits:          masks %d + canceling %d = %d\n"+
+			"X-masking only [5]:    %d  (improvement %.2fx)\n"+
+			"X-canceling only [12]: %d  (improvement %.2fx)\n"+
+			"normalized test time:  %.3f vs %.3f canceling-only (%.2fx faster)\n",
+		len(p.Partitions),
+		p.MaskedX, p.TotalX, p.ResidualX,
+		p.MaskBits, p.CancelBits, p.TotalBits,
+		p.MaskOnlyBits, p.ImprovementOverMaskOnly,
+		p.CancelOnlyBits, p.ImprovementOverCancelOnly,
+		p.TestTimeHybrid, p.TestTimeCancelOnly, p.TestTimeImprovement)
+	return err
+}

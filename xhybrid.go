@@ -1,6 +1,7 @@
 package xhybrid
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -222,12 +223,22 @@ type Plan struct {
 }
 
 // Partition runs the paper's partitioning algorithm and returns the plan.
+// It is PartitionCtx with a background context.
 func Partition(x *XLocations, opt Options) (*Plan, error) {
+	return PartitionCtx(context.Background(), x, opt)
+}
+
+// PartitionCtx is Partition under a context: canceling ctx (or passing a
+// context whose deadline expires) stops the partitioner mid-round and
+// returns an error matching errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded. The serving layer threads every request's
+// context through here so a dropped connection stops compute.
+func PartitionCtx(ctx context.Context, x *XLocations, opt Options) (*Plan, error) {
 	params, err := opt.params(x.geom)
 	if err != nil {
 		return nil, err
 	}
-	cmp, err := core.Evaluate(x.m, params)
+	cmp, err := core.EvaluateCtx(ctx, x.m, params)
 	if err != nil {
 		return nil, err
 	}
