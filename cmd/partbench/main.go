@@ -1,0 +1,136 @@
+// Command partbench measures the partitioning engine on the synthetic CKT
+// workloads: wall-clock time plus the engine's own work counters (masked-X
+// recomputes, correlation cell counts, cache hits/misses, delta-vs-full
+// scoring). Its JSON output is the record format of BENCH_partition.json;
+// see EXPERIMENTS.md for the reproduction recipe.
+//
+// Usage:
+//
+//	partbench -profile ckt-b -strategy greedy-cost [-scale K] [-runs N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xhybrid/internal/core"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/obs"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xcancel"
+)
+
+// report is one measured configuration, serialized as JSON.
+type report struct {
+	Profile    string           `json:"profile"`
+	Scale      int              `json:"scale"`
+	Patterns   int              `json:"patterns"`
+	Cells      int              `json:"cells"`
+	XCells     int              `json:"xCells"`
+	TotalX     int              `json:"totalX"`
+	Strategy   string           `json:"strategy"`
+	Workers    int              `json:"workers"`
+	Runs       int              `json:"runs"`
+	WallMsBest float64          `json:"wallMsBest"`
+	WallMsMean float64          `json:"wallMsMean"`
+	TotalBits  int              `json:"totalBits"`
+	Partitions int              `json:"partitions"`
+	Rounds     int              `json:"rounds"`
+	Counters   map[string]int64 `json:"counters"`
+}
+
+func main() {
+	profile := flag.String("profile", "ckt-b", "workload profile: ckt-a, ckt-b or ckt-c")
+	scale := flag.Int("scale", 1, "shrink the profile by this factor")
+	strategy := flag.String("strategy", "greedy-cost", "paper, paper-random, greedy-cost or paper-retry")
+	mSize := flag.Int("m", 32, "MISR size")
+	q := flag.Int("q", 7, "X-free combinations per halt")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	runs := flag.Int("runs", 1, "measured runs (best and mean wall time are reported)")
+	flag.Parse()
+
+	var prof workload.Profile
+	switch strings.ToLower(*profile) {
+	case "ckt-a":
+		prof = workload.CKTA()
+	case "ckt-b":
+		prof = workload.CKTB()
+	case "ckt-c":
+		prof = workload.CKTC()
+	default:
+		die(fmt.Errorf("unknown profile %q", *profile))
+	}
+	if *scale > 1 {
+		prof = workload.Scaled(prof, *scale)
+	}
+	var strat core.Strategy
+	switch *strategy {
+	case "paper":
+		strat = core.StrategyPaper
+	case "paper-random":
+		strat = core.StrategyPaperRandom
+	case "greedy-cost":
+		strat = core.StrategyGreedyCost
+	case "paper-retry":
+		strat = core.StrategyPaperRetry
+	default:
+		die(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	m, err := prof.Generate()
+	if err != nil {
+		die(err)
+	}
+	rep := report{
+		Profile: prof.Name, Scale: *scale,
+		Patterns: m.Patterns(), Cells: m.Cells(), XCells: m.NumXCells(), TotalX: m.TotalX(),
+		Strategy: strat.String(), Workers: *workers, Runs: *runs,
+	}
+	best := time.Duration(0)
+	var total time.Duration
+	for i := 0; i < *runs; i++ {
+		rec := obs.New()
+		p := core.Params{
+			Geom:     prof.Geometry(),
+			Cancel:   xcancel.Config{MISR: misr.MustStandard(*mSize), Q: *q},
+			Strategy: strat,
+			Workers:  *workers,
+			Obs:      rec,
+		}
+		t0 := time.Now()
+		res, err := core.Run(m, p)
+		elapsed := time.Since(t0)
+		if err != nil {
+			die(err)
+		}
+		total += elapsed
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		if i == 0 {
+			rep.TotalBits = res.TotalBits
+			rep.Partitions = len(res.Partitions)
+			rep.Rounds = len(res.Rounds)
+			rep.Counters = make(map[string]int64)
+			for _, c := range rec.Snapshot().Counters {
+				rep.Counters[c.Name] = c.Value
+			}
+		}
+	}
+	rep.WallMsBest = float64(best) / float64(time.Millisecond)
+	rep.WallMsMean = float64(total) / float64(*runs) / float64(time.Millisecond)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "partbench:", err)
+	os.Exit(1)
+}

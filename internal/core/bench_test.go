@@ -97,6 +97,32 @@ func BenchmarkRunStats(b *testing.B) {
 	}
 }
 
+// BenchmarkRunGreedy is the CI regression gate for the incremental scoring
+// engine: the greedy strategy is the one that scores every candidate split
+// of every live partition per round, so it is the workload most sensitive
+// to the delta pricing, cross-round memoization, and partition-local cell
+// indexes. The benchstat job in ci.yml compares this benchmark between the
+// PR head and its merge base and fails on a >20% slowdown.
+func BenchmarkRunGreedy(b *testing.B) {
+	prof := workload.Scaled(workload.CKTB(), 4)
+	m, err := prof.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{
+		Geom:     prof.Geometry(),
+		Cancel:   xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+		Strategy: StrategyGreedyCost,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMaskedXIn(b *testing.B) {
 	prof := workload.Scaled(workload.CKTB(), 4)
 	m, err := prof.Generate()

@@ -110,51 +110,55 @@ func RunClusteredCtx(ctx context.Context, m *xmap.XMap, params Params) (*Result,
 	// patterns, then hill-climb with the exact cost function, merging
 	// whole partitions while that reduces the total control bits (an
 	// unprofitable cluster's mask image costs more than the X's it saves
-	// from canceling).
-	var parts []gf2.Vec
+	// from canceling). Partitions are interned as states, so a candidate
+	// merge re-evaluated across hill-climb rounds reuses its scan.
+	var live []*partState
+	intern := func(v gf2.Vec) *partState {
+		st := e.stateFor(v)
+		st.ensureStats(e, nil)
+		return st
+	}
 	for _, c := range clusters {
 		v := gf2.NewVec(m.Patterns())
 		for _, p := range c.members {
 			v.Set(p)
 		}
-		parts = append(parts, v)
+		live = append(live, intern(v))
 	}
-	if len(rest) > 0 || len(parts) == 0 {
+	if len(rest) > 0 || len(live) == 0 {
 		v := gf2.NewVec(m.Patterns())
 		for _, p := range rest {
 			v.Set(p)
 		}
-		parts = append(parts, v)
+		live = append(live, intern(v))
 	}
-	maskedX := make([]int, len(parts))
-	for i, p := range parts {
-		maskedX[i] = e.maskedXIn(p)
+	// Running totals over the live list; a merge of (i, j) into u reprices
+	// as a three-contribution swap against them.
+	masked, maskBits := 0, 0
+	for _, st := range live {
+		masked += st.maskedX
+		maskBits += e.contrib(st)
 	}
-	mergeAt := func(ps []gf2.Vec, ms []int, i, j int) ([]gf2.Vec, []int) {
-		merged := ps[i].Clone()
-		merged.Or(ps[j])
-		outP := make([]gf2.Vec, 0, len(ps)-1)
-		outM := make([]int, 0, len(ps)-1)
-		outP = append(outP, merged)
-		outM = append(outM, e.maskedXIn(merged))
-		for k := range ps {
-			if k != i && k != j {
-				outP = append(outP, ps[k])
-				outM = append(outM, ms[k])
-			}
-		}
-		return outP, outM
+	cost := maskBits + e.cancelBits(masked)
+	e.obsFull.Inc()
+	union := func(a, b *partState) *partState {
+		v := a.part.Clone()
+		v.Or(b.part)
+		return intern(v)
 	}
-	cost := e.cost(parts, maskedX)
-	for len(parts) > 1 {
+	mergeCost := func(a, b, u *partState) int {
+		e.obsDelta.Inc()
+		return maskBits - e.contrib(a) - e.contrib(b) + e.contrib(u) +
+			e.cancelBits(masked-a.maskedX-b.maskedX+u.maskedX)
+	}
+	for len(live) > 1 {
 		if err := e.err(); err != nil {
 			return nil, err
 		}
 		bestI, bestJ, bestCost := -1, -1, cost
-		for i := 0; i < len(parts); i++ {
-			for j := i + 1; j < len(parts); j++ {
-				tp, tm := mergeAt(parts, maskedX, i, j)
-				if c := e.cost(tp, tm); c < bestCost {
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				if c := mergeCost(live[i], live[j], union(live[i], live[j])); c < bestCost {
 					bestCost, bestI, bestJ = c, i, j
 				}
 			}
@@ -162,10 +166,21 @@ func RunClusteredCtx(ctx context.Context, m *xmap.XMap, params Params) (*Result,
 		if bestI < 0 {
 			break
 		}
-		parts, maskedX = mergeAt(parts, maskedX, bestI, bestJ)
+		a, b := live[bestI], live[bestJ]
+		u := union(a, b)
+		masked += u.maskedX - a.maskedX - b.maskedX
+		maskBits += e.contrib(u) - e.contrib(a) - e.contrib(b)
 		cost = bestCost
+		next := make([]*partState, 0, len(live)-1)
+		next = append(next, u)
+		for k := range live {
+			if k != bestI && k != bestJ {
+				next = append(next, live[k])
+			}
+		}
+		live = next
 	}
-	return e.finalize(parts, nil), nil
+	return e.finalize(live, nil), nil
 }
 
 // intersectSorted returns the intersection of two ascending int slices.

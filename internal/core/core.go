@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"xhybrid/internal/gf2"
 	"xhybrid/internal/obs"
@@ -245,12 +246,30 @@ type evaluator struct {
 	ctx  context.Context
 	done <-chan struct{}
 
+	// mu guards idx and states: candidate scoring interns partition states
+	// from pool goroutines. idx dedups partition bitsets by content
+	// (hashed, equality-verified) and states holds one partState per
+	// distinct bitset, indexed by the set's dense id. Nothing downstream
+	// depends on id assignment order, so concurrent interning cannot leak
+	// scheduling into the results.
+	mu     sync.Mutex
+	idx    *gf2.VecSet
+	states []*partState
+
 	// Cached observability handles (nil when params.Obs is nil, which
 	// makes every recording below a single-branch no-op).
-	obsRounds     *obs.Counter
-	obsAccepted   *obs.Counter
-	obsScored     *obs.Counter
-	obsRecomputes *obs.Counter
+	obsRounds      *obs.Counter
+	obsAccepted    *obs.Counter
+	obsScored      *obs.Counter
+	obsRecomputes  *obs.Counter
+	obsStateHits   *obs.Counter
+	obsStateMisses *obs.Counter
+	obsGroupHits   *obs.Counter
+	obsGroupMisses *obs.Counter
+	obsDelta       *obs.Counter
+	obsFull        *obs.Counter
+	obsIndexBuilds *obs.Counter
+	obsIndexCells  *obs.Counter
 }
 
 // newEvaluator builds the run state; the caller must Close the evaluator's
@@ -266,11 +285,20 @@ func newEvaluator(ctx context.Context, m *xmap.XMap, params Params) *evaluator {
 		pool:   pool.New(params.workers()),
 		ctx:    ctx,
 		done:   ctx.Done(),
+		idx:    gf2.NewVecSet(),
 
-		obsRounds:     params.Obs.Counter("core.rounds"),
-		obsAccepted:   params.Obs.Counter("core.rounds.accepted"),
-		obsScored:     params.Obs.Counter("core.splits.scored"),
-		obsRecomputes: params.Obs.Counter("core.maskedx.recomputes"),
+		obsRounds:      params.Obs.Counter("core.rounds"),
+		obsAccepted:    params.Obs.Counter("core.rounds.accepted"),
+		obsScored:      params.Obs.Counter("core.splits.scored"),
+		obsRecomputes:  params.Obs.Counter("core.maskedx.recomputes"),
+		obsStateHits:   params.Obs.Counter("core.state.cache.hits"),
+		obsStateMisses: params.Obs.Counter("core.state.cache.misses"),
+		obsGroupHits:   params.Obs.Counter("core.groups.cache.hits"),
+		obsGroupMisses: params.Obs.Counter("core.groups.cache.misses"),
+		obsDelta:       params.Obs.Counter("core.score.delta"),
+		obsFull:        params.Obs.Counter("core.score.full"),
+		obsIndexBuilds: params.Obs.Counter("core.cellindex.builds"),
+		obsIndexCells:  params.Obs.Counter("core.cellindex.cells.scanned"),
 	}
 }
 
@@ -306,7 +334,11 @@ func (e *evaluator) err() error {
 	return nil
 }
 
-// maskedXIn returns how many X's a shared mask removes in the partition.
+// maskedXIn returns how many X's a shared mask removes in the partition,
+// always scanning every X-capturing cell — the raw, uncached cost the
+// incremental engine avoids (partState.ensureStats computes the same value
+// once per distinct partition, over a partition-local cell index).
+// Benchmarks keep measuring this scan directly.
 // The per-cell membership tests fan out over the pool; the integer sum is
 // order-independent. A canceled run short-circuits to 0 — the caller
 // discards the round's results once it observes the cancellation.
@@ -332,37 +364,3 @@ func (e *evaluator) maskedXIn(part gf2.Vec) int {
 // channel select every 64 cells keeps the abort latency in the microseconds
 // while staying invisible next to the popcount work per cell.
 const cancelCheckMask = 63
-
-// maskCellsIn returns how many cells the shared mask covers.
-func (e *evaluator) maskCellsIn(part gf2.Vec) int {
-	size := part.PopCount()
-	if size == 0 {
-		return 0
-	}
-	cells := e.m.XCells()
-	return e.pool.SumInt(len(cells), func(i int) int {
-		if i&cancelCheckMask == 0 && e.canceled() {
-			return 0
-		}
-		if cells[i].Patterns.PopCountAnd(part) == size {
-			return 1
-		}
-		return 0
-	})
-}
-
-// cost returns the paper's total-control-bit cost for a partition list given
-// the per-partition masked-X cache.
-func (e *evaluator) cost(parts []gf2.Vec, maskedX []int) int {
-	maskBits := 0
-	masked := 0
-	for i, p := range parts {
-		masked += maskedX[i]
-		if e.params.ElideEmptyMasks && e.maskCellsIn(p) == 0 {
-			continue
-		}
-		maskBits += e.params.maskImageBits()
-	}
-	residual := e.totalX - masked
-	return maskBits + xcancel.ControlBits(residual, e.params.Cancel.MISR.Size, e.params.Cancel.Q)
-}

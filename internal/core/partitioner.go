@@ -36,9 +36,16 @@ func Run(m *xmap.XMap, params Params) (*Result, error) {
 // evaluator's worker pool is released before returning, so a canceled run
 // leaks no goroutines.
 //
-// The hot loops (candidate scoring, masked-X recomputation) fan out over
-// Params.Workers goroutines with deterministic reductions: the result is
-// byte-identical for any worker count.
+// The engine is incremental: cost is a sum of per-partition contributions
+// plus one residual-canceling term, so a candidate split is priced by
+// swapping three contributions in and out of running totals instead of
+// re-walking every partition; per-partition scans cover only the cells a
+// partition-local index says can matter; and every derived quantity (stats,
+// candidate groups, greedy candidate lists) is memoized on the partition's
+// content, surviving across rounds. All of it is exact integer
+// rearrangement of the full cost sum, so plans are byte-identical to a
+// from-scratch evaluation — and byte-identical for any worker count, since
+// every parallel reduction stays position-indexed.
 func RunCtx(ctx context.Context, m *xmap.XMap, params Params) (*Result, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -54,12 +61,18 @@ func RunCtx(ctx context.Context, m *xmap.XMap, params Params) (*Result, error) {
 	defer e.close()
 	rng := rand.New(rand.NewSource(params.Seed))
 
-	// Start with a single partition holding every pattern.
+	// Start with a single partition holding every pattern. Its cell index
+	// is every X-capturing slot; all later indexes narrow an ancestor's.
 	all := gf2.NewVec(m.Patterns())
 	all.SetAll()
-	parts := []gf2.Vec{all}
-	maskedX := []int{e.maskedXIn(all)}
-	cost := e.cost(parts, maskedX)
+	root := e.stateFor(all)
+	root.ensureCells(e, nil)
+	root.ensureStats(e, nil)
+	live := []*partState{root}
+	masked := root.maskedX
+	maskBits := e.contrib(root)
+	cost := maskBits + e.cancelBits(masked)
+	e.obsFull.Inc()
 
 	var rounds []Round
 	round := 0
@@ -71,13 +84,13 @@ outer:
 		var attempts []split
 		switch params.Strategy {
 		case StrategyPaper, StrategyPaperRandom:
-			if cand := e.selectPaper(parts, params.Strategy == StrategyPaperRandom, rng); cand != nil {
+			if cand := e.selectPaper(live, params.Strategy == StrategyPaperRandom, rng); cand != nil {
 				attempts = []split{*cand}
 			}
 		case StrategyPaperRetry:
-			attempts = e.selectPaperList(parts, params.retryBudget())
+			attempts = e.selectPaperList(live, params.retryBudget())
 		case StrategyGreedyCost:
-			if cand := e.selectGreedy(parts, maskedX, cost); cand != nil {
+			if cand := e.selectGreedy(live, masked, maskBits, cost); cand != nil {
 				attempts = []split{*cand}
 			}
 		}
@@ -95,8 +108,16 @@ outer:
 			}
 			e.obsRounds.Inc()
 			e.obsScored.Inc()
-			newParts, newMaskedX := e.applySplit(parts, maskedX, cand)
-			newCost := e.cost(newParts, newMaskedX)
+			// Delta pricing: the split replaces the parent's contribution
+			// with its two sides'. The greedy selector already interned the
+			// winning candidate's sides, so this re-pricing is pure cache
+			// hits there.
+			parent := live[cand.partIdx]
+			xs, rs := e.splitStates(parent, cand.cell)
+			e.obsDelta.Inc()
+			newMasked := masked - parent.maskedX + xs.maskedX + rs.maskedX
+			newMaskBits := maskBits - e.contrib(parent) + e.contrib(xs) + e.contrib(rs)
+			newCost := newMaskBits + e.cancelBits(newMasked)
 			r := Round{
 				Round:          round,
 				SplitPartition: cand.partIdx,
@@ -110,7 +131,16 @@ outer:
 			rounds = append(rounds, r)
 			if r.Accepted {
 				e.obsAccepted.Inc()
-				parts, maskedX, cost = newParts, newMaskedX, newCost
+				// Commit: the X side replaces the parent in place and the
+				// complement lands right after it. Build the sides' cell
+				// indexes now (serial point) by narrowing the parent's.
+				xs.ensureCells(e, parent)
+				rs.ensureCells(e, parent)
+				live = append(live, nil)
+				copy(live[cand.partIdx+2:], live[cand.partIdx+1:])
+				live[cand.partIdx] = xs
+				live[cand.partIdx+1] = rs
+				masked, maskBits, cost = newMasked, newMaskBits, newCost
 				committed = true
 				break
 			}
@@ -125,20 +155,22 @@ outer:
 		return nil, err
 	}
 
-	return e.finalize(parts, rounds), nil
+	return e.finalize(live, rounds), nil
 }
 
-// groupsPerPartition computes each partition's candidate groups, fanning
-// the partitions out over the pool (and the per-cell X counting of each
-// partition over idle workers). The result is indexed by partition, so the
-// fan-out order cannot leak into the selection.
-func (e *evaluator) groupsPerPartition(parts []gf2.Vec) [][]correlation.Group {
-	groups := make([][]correlation.Group, len(parts))
-	e.pool.ForEach(len(parts), func(i int) {
-		if e.canceled() || parts[i].PopCount() < 2 {
+// groupsPerPartition returns each live partition's candidate groups, fanning
+// the partitions out over the pool. After the first round this is almost
+// entirely cache hits: only the two partitions born from the last commit
+// compute anything, and those scan just their local cell index. The result
+// is indexed by partition, so the fan-out order cannot leak into the
+// selection.
+func (e *evaluator) groupsPerPartition(live []*partState) [][]correlation.Group {
+	groups := make([][]correlation.Group, len(live))
+	e.pool.ForEach(len(live), func(i int) {
+		if e.canceled() || live[i].size < 2 {
 			return
 		}
-		groups[i] = correlation.GroupsWithinCtx(e.ctx, e.m, parts[i], e.pool, e.params.Obs)
+		groups[i] = live[i].ensureGroups(e)
 	})
 	return groups
 }
@@ -146,10 +178,10 @@ func (e *evaluator) groupsPerPartition(parts []gf2.Vec) [][]correlation.Group {
 // selectPaperList returns up to budget candidates in Algorithm 1 preference
 // order (largest group first, ties by count, partition, cell) — the retry
 // strategy walks this list past cost rejections.
-func (e *evaluator) selectPaperList(parts []gf2.Vec, budget int) []split {
+func (e *evaluator) selectPaperList(live []*partState, budget int) []split {
 	var all []split
-	for i, groups := range e.groupsPerPartition(parts) {
-		size := parts[i].PopCount()
+	for i, groups := range e.groupsPerPartition(live) {
+		size := live[i].size
 		for _, g := range groups {
 			if g.Count >= size || g.Size() < 2 {
 				continue
@@ -187,11 +219,11 @@ func (e *evaluator) selectPaperList(parts []gf2.Vec, budget int) []split {
 // cross-partition reduce below walks the partitions in index order, so the
 // choice (and the single rng draw for the random variant) is identical to a
 // serial scan.
-func (e *evaluator) selectPaper(parts []gf2.Vec, random bool, rng *rand.Rand) *split {
+func (e *evaluator) selectPaper(live []*partState, random bool, rng *rand.Rand) *split {
 	var best *split
 	var bestGroup correlation.Group
-	for i, groups := range e.groupsPerPartition(parts) {
-		size := parts[i].PopCount()
+	for i, groups := range e.groupsPerPartition(live) {
+		size := live[i].size
 		for _, g := range groups {
 			if g.Count >= size || g.Size() < 2 {
 				// Fully-X cells can't split; singleton groups are not a
@@ -226,67 +258,34 @@ func (e *evaluator) selectPaper(parts []gf2.Vec, random bool, rng *rand.Rand) *s
 }
 
 // selectGreedy evaluates the cost delta of every distinct candidate split
-// and returns the best strictly improving one, or nil. Candidate collection
-// fans out per partition and cost scoring per candidate; the reduce takes
-// the lowest cost at the earliest position in the serial enumeration order
-// (partition index, then gain-sorted candidate rank), so the pick matches a
-// serial scan exactly.
-func (e *evaluator) selectGreedy(parts []gf2.Vec, maskedX []int, cost int) *split {
-	cap := e.params.GreedyCandidateCap
-	if cap <= 0 {
-		cap = 256
+// and returns the best strictly improving one, or nil. Phase 1 assembles
+// each partition's deduplicated, gain-ranked candidate cells — memoized on
+// the partition, so only freshly split partitions enumerate anything.
+// Phase 2 prices every candidate by contribution swap against the running
+// totals; side states are interned by content, so a candidate unchanged
+// since the last round costs two hash probes instead of two full-map scans.
+// The reduce takes the lowest cost at the earliest position in the serial
+// enumeration order (partition index, then gain rank), so the pick matches
+// a serial scan exactly.
+func (e *evaluator) selectGreedy(live []*partState, masked, maskBits, cost int) *split {
+	limit := e.params.GreedyCandidateCap
+	if limit <= 0 {
+		limit = 256
 	}
-	// Collect each partition's deduplicated candidates in parallel.
-	perPart := make([][]split, len(parts))
-	e.pool.ForEach(len(parts), func(i int) {
-		p := parts[i]
-		size := p.PopCount()
-		if size < 2 {
+	e.pool.ForEach(len(live), func(i int) {
+		if e.canceled() || live[i].size < 2 {
 			return
 		}
-		// Deduplicate candidates by in-partition signature: cells with the
-		// same X patterns inside p produce identical splits. Track each
-		// signature's multiplicity — every cell sharing the signature
-		// becomes fully-X on the split's X side, so multiplicity * count
-		// is a lower bound on the X's the split masks, which ranks
-		// candidates when the cap bites.
-		type cand struct {
-			s    split
-			gain int
-		}
-		sigIdx := make(map[string]int)
-		var cands []cand
-		for ci, c := range e.m.XCells() {
-			if ci&cancelCheckMask == 0 && e.canceled() {
-				return
-			}
-			n := c.Patterns.PopCountAnd(p)
-			if n == 0 || n >= size {
-				continue
-			}
-			inPart := c.Patterns.Clone()
-			inPart.And(p)
-			key := inPart.String()
-			if j, ok := sigIdx[key]; ok {
-				cands[j].gain += n
-				continue
-			}
-			sigIdx[key] = len(cands)
-			cands = append(cands, cand{s: split{partIdx: i, cell: c.Cell}, gain: n})
-		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].gain > cands[b].gain })
-		if len(cands) > cap {
-			cands = cands[:cap]
-		}
-		out := make([]split, len(cands))
-		for k, ca := range cands {
-			out[k] = ca.s
-		}
-		perPart[i] = out
+		live[i].ensureCands(e, limit)
 	})
 	var all []split
-	for _, cands := range perPart {
-		all = append(all, cands...)
+	for i, st := range live {
+		if st.size < 2 || !st.candsOK {
+			continue
+		}
+		for _, cell := range st.cands {
+			all = append(all, split{partIdx: i, cell: cell})
+		}
 	}
 	if len(all) == 0 {
 		return nil
@@ -298,8 +297,11 @@ func (e *evaluator) selectGreedy(parts []gf2.Vec, maskedX []int, cost int) *spli
 		if e.canceled() {
 			return
 		}
-		np, nm := e.applySplit(parts, maskedX, all[k])
-		costs[k] = e.cost(np, nm)
+		parent := live[all[k].partIdx]
+		xs, rs := e.splitStates(parent, all[k].cell)
+		e.obsDelta.Inc()
+		costs[k] = maskBits - e.contrib(parent) + e.contrib(xs) + e.contrib(rs) +
+			e.cancelBits(masked-parent.maskedX+xs.maskedX+rs.maskedX)
 	})
 	bestIdx := 0
 	for k := 1; k < len(all); k++ {
@@ -313,41 +315,13 @@ func (e *evaluator) selectGreedy(parts []gf2.Vec, maskedX []int, cost int) *spli
 	return &all[bestIdx]
 }
 
-// applySplit returns the partition list and masked-X cache after splitting
-// parts[s.partIdx] on cell s.cell. The X side replaces the parent in place
-// and the complement is appended right after it.
-func (e *evaluator) applySplit(parts []gf2.Vec, maskedX []int, s split) ([]gf2.Vec, []int) {
-	parent := parts[s.partIdx]
-	cellBits, ok := e.m.CellPatterns(s.cell)
-	if !ok {
-		panic(fmt.Sprintf("core: split cell %d captures no X", s.cell))
-	}
-	xSide := parent.Clone()
-	xSide.And(cellBits)
-	rest := parent.Clone()
-	rest.AndNot(cellBits)
-
-	newParts := make([]gf2.Vec, 0, len(parts)+1)
-	newMasked := make([]int, 0, len(parts)+1)
-	for i := range parts {
-		if i == s.partIdx {
-			newParts = append(newParts, xSide, rest)
-			newMasked = append(newMasked, e.maskedXIn(xSide), e.maskedXIn(rest))
-			continue
-		}
-		newParts = append(newParts, parts[i])
-		newMasked = append(newMasked, maskedX[i])
-	}
-	return newParts, newMasked
-}
-
 // finalize materializes the masks and the full accounting.
-func (e *evaluator) finalize(parts []gf2.Vec, rounds []Round) *Result {
+func (e *evaluator) finalize(live []*partState, rounds []Round) *Result {
 	res := &Result{Rounds: rounds, TotalX: e.totalX}
 	maskBits := 0
-	for _, p := range parts {
-		mask, mx := xmask.PartitionMask(e.m, p)
-		res.Partitions = append(res.Partitions, Partition{Patterns: p, Mask: mask, MaskedX: mx})
+	for _, st := range live {
+		mask, mx := xmask.PartitionMask(e.m, st.part)
+		res.Partitions = append(res.Partitions, Partition{Patterns: st.part, Mask: mask, MaskedX: mx})
 		res.MaskedX += mx
 		if e.params.ElideEmptyMasks && mask.Cells.PopCount() == 0 {
 			continue

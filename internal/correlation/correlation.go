@@ -87,11 +87,27 @@ func GroupsWithinObs(m *xmap.XMap, part gf2.Vec, pl *pool.Pool, rec *obs.Recorde
 // grouping fell out; the caller (core.RunCtx) observes the cancellation
 // itself and discards the round, so the partial result never escapes.
 func GroupsWithinCtx(ctx context.Context, m *xmap.XMap, part gf2.Vec, pl *pool.Pool, rec *obs.Recorder) []Group {
+	return GroupsWithinCells(ctx, m, part, nil, pl, rec)
+}
+
+// GroupsWithinCells is GroupsWithinCtx restricted to a candidate slot list
+// (indices into m.XCells, ascending). Cells outside slots are treated as
+// having zero in-partition X's — exactly the grouping GroupsWithinCtx
+// produces when every omitted cell genuinely has none, which holds whenever
+// slots is a superset of the cells intersecting part (e.g. the slot index of
+// any ancestor partition). A nil slots scans every X-capturing cell. The
+// caller is responsible for the superset property; the partitioner maintains
+// it by deriving each child's slot list from its parent's.
+func GroupsWithinCells(ctx context.Context, m *xmap.XMap, part gf2.Vec, slots []int32, pl *pool.Pool, rec *obs.Recorder) []Group {
 	rec.Add("correlation.groupings", 1)
 	cells := m.XCells()
-	rec.Add("correlation.cells.counted", int64(len(cells)))
+	n := len(cells)
+	if slots != nil {
+		n = len(slots)
+	}
+	rec.Add("correlation.cells.counted", int64(n))
 	done := ctx.Done()
-	counts := make([]int, len(cells))
+	counts := make([]int, n)
 	count := func(i int) {
 		if i&63 == 0 && done != nil {
 			select {
@@ -100,19 +116,27 @@ func GroupsWithinCtx(ctx context.Context, m *xmap.XMap, part gf2.Vec, pl *pool.P
 			default:
 			}
 		}
-		counts[i] = cells[i].Patterns.PopCountAnd(part)
+		slot := i
+		if slots != nil {
+			slot = int(slots[i])
+		}
+		counts[i] = cells[slot].Patterns.PopCountAnd(part)
 	}
 	if pl != nil {
-		pl.ForEach(len(cells), count)
+		pl.ForEach(n, count)
 	} else {
-		for i := range cells {
+		for i := 0; i < n; i++ {
 			count(i)
 		}
 	}
 	byCount := make(map[int][]int)
-	for i, c := range cells {
+	for i := 0; i < n; i++ {
 		if counts[i] > 0 {
-			byCount[counts[i]] = append(byCount[counts[i]], c.Cell)
+			slot := i
+			if slots != nil {
+				slot = int(slots[i])
+			}
+			byCount[counts[i]] = append(byCount[counts[i]], cells[slot].Cell)
 		}
 	}
 	groups := make([]Group, 0, len(byCount))

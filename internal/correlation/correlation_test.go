@@ -1,6 +1,7 @@
 package correlation
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -196,5 +197,45 @@ func TestGroupsPartitionXCells(t *testing.T) {
 	}
 	if total != m.NumXCells() {
 		t.Fatalf("groups cover %d cells, want %d", total, m.NumXCells())
+	}
+}
+
+// GroupsWithinCells with any superset slot list must reproduce the full-scan
+// grouping exactly, for random maps and random sub-partitions.
+func TestGroupsWithinCellsMatchesFullScan(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		m := xmap.New(30, 120)
+		for i := 0; i < 250; i++ {
+			m.Add(r.Intn(30), r.Intn(120))
+		}
+		parent := gf2.NewVec(30)
+		for i := 0; i < 30; i++ {
+			if r.Intn(2) == 0 {
+				parent.Set(i)
+			}
+		}
+		child := parent.Clone()
+		for i := 0; i < 30; i += 3 {
+			child.Clear(i)
+		}
+		parentSlots := m.IntersectingSlots(parent, nil)
+		for _, part := range []gf2.Vec{parent, child} {
+			want := GroupsWithin(m, part)
+			got := GroupsWithinCells(context.Background(), m, part, parentSlots, nil, nil)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d groups via slots, want %d", trial, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Count != want[i].Count || len(got[i].Cells) != len(want[i].Cells) {
+					t.Fatalf("trial %d group %d: got %+v want %+v", trial, i, got[i], want[i])
+				}
+				for j := range want[i].Cells {
+					if got[i].Cells[j] != want[i].Cells[j] {
+						t.Fatalf("trial %d group %d cell %d differs", trial, i, j)
+					}
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,20 @@
+package gf2
+
+// NewVecSetWithHash returns a VecSet whose probing hashes are replaced by h
+// applied to the materialized vector. Tests pass a constant h to force every
+// insert into one bucket and exercise the collision-verification path.
+func NewVecSetWithHash(h func(Vec) uint64) *VecSet {
+	s := NewVecSet()
+	s.hash = h
+	s.hashAnd = func(a, b Vec) uint64 {
+		v := a.Clone()
+		v.And(b)
+		return h(v)
+	}
+	s.hashAndNot = func(a, b Vec) uint64 {
+		v := a.Clone()
+		v.AndNot(b)
+		return h(v)
+	}
+	return s
+}

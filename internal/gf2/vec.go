@@ -282,6 +282,81 @@ func (v Vec) Dot(u Vec) int {
 	return bits.OnesCount64(acc) & 1
 }
 
+// Hash returns a 64-bit content hash of the vector (length and bits).
+// Equal vectors always hash equal; the per-word splitmix64-style mixing
+// keeps unequal vectors from colliding in practice, but callers that use
+// the hash as a map key must still verify with Equal on bucket collisions
+// (VecSet packages that pattern). The hash is deterministic across runs.
+func (v Vec) Hash() uint64 {
+	h := hashMix(uint64(v.n) ^ hashSeed)
+	for _, w := range v.words {
+		h = hashMix(h ^ w)
+	}
+	return h
+}
+
+// HashAnd returns Hash of (v & u) without materializing the intersection.
+// The vectors must have equal length.
+func (v Vec) HashAnd(u Vec) uint64 {
+	v.checkLen(u)
+	h := hashMix(uint64(v.n) ^ hashSeed)
+	for i, w := range u.words {
+		h = hashMix(h ^ (v.words[i] & w))
+	}
+	return h
+}
+
+// HashAndNot returns Hash of (v &^ u) without materializing the difference.
+// The vectors must have equal length.
+func (v Vec) HashAndNot(u Vec) uint64 {
+	v.checkLen(u)
+	h := hashMix(uint64(v.n) ^ hashSeed)
+	for i, w := range u.words {
+		h = hashMix(h ^ (v.words[i] &^ w))
+	}
+	return h
+}
+
+// EqualAnd reports whether v == (a & b) without materializing the
+// intersection. All three vectors must have equal length.
+func (v Vec) EqualAnd(a, b Vec) bool {
+	v.checkLen(a)
+	v.checkLen(b)
+	for i, w := range v.words {
+		if w != a.words[i]&b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualAndNot reports whether v == (a &^ b) without materializing the
+// difference. All three vectors must have equal length.
+func (v Vec) EqualAndNot(a, b Vec) bool {
+	v.checkLen(a)
+	v.checkLen(b)
+	for i, w := range v.words {
+		if w != a.words[i]&^b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashSeed domain-separates Vec hashes from plain splitmix64 streams.
+const hashSeed = 0x9e3779b97f4a7c15
+
+// hashMix is the splitmix64 finalizer: a cheap full-avalanche mix so that
+// single-bit differences in any word spread across the whole hash.
+func hashMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // String renders the vector as '0'/'1' runes, bit 0 first.
 func (v Vec) String() string {
 	var sb strings.Builder

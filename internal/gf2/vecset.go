@@ -1,0 +1,88 @@
+package gf2
+
+// VecSet deduplicates bit vectors by content, assigning each distinct
+// vector a dense id (0, 1, 2, ... in first-insertion order). It replaces
+// the Vec.String()-keyed maps of earlier designs: keys are 64-bit content
+// hashes (Vec.Hash) verified with word-level equality on bucket collisions,
+// so no per-insert string is ever allocated. The AddAnd/AddAndNot variants
+// probe for a derived vector (a&b, a&^b) without materializing it unless it
+// turns out to be new.
+//
+// The zero value is not usable; call NewVecSet. VecSet is not safe for
+// concurrent use; callers that share one across goroutines must serialize
+// access (internal/core's evaluator wraps it in a mutex).
+type VecSet struct {
+	// hash and hashAnd/hashAndNot are the probing functions; tests inject
+	// degenerate hashes here to exercise the collision path.
+	hash       func(Vec) uint64
+	hashAnd    func(a, b Vec) uint64
+	hashAndNot func(a, b Vec) uint64
+
+	buckets map[uint64][]int
+	vecs    []Vec
+}
+
+// NewVecSet returns an empty set.
+func NewVecSet() *VecSet {
+	return &VecSet{
+		hash:       Vec.Hash,
+		hashAnd:    Vec.HashAnd,
+		hashAndNot: Vec.HashAndNot,
+		buckets:    make(map[uint64][]int),
+	}
+}
+
+// Len returns the number of distinct vectors in the set.
+func (s *VecSet) Len() int { return len(s.vecs) }
+
+// Vec returns the stored vector with the given id. The vector is shared
+// with the set; treat it as read-only.
+func (s *VecSet) Vec(id int) Vec { return s.vecs[id] }
+
+// Add inserts v and returns its dense id, with existed reporting whether an
+// equal vector was already present. The set stores v itself (no clone); the
+// caller must not mutate it afterwards.
+func (s *VecSet) Add(v Vec) (id int, existed bool) {
+	h := s.hash(v)
+	for _, j := range s.buckets[h] {
+		if s.vecs[j].Equal(v) {
+			return j, true
+		}
+	}
+	return s.insert(h, v), false
+}
+
+// AddAnd inserts (a & b), materializing the intersection only when it is
+// not already present, and returns its dense id.
+func (s *VecSet) AddAnd(a, b Vec) (id int, existed bool) {
+	h := s.hashAnd(a, b)
+	for _, j := range s.buckets[h] {
+		if s.vecs[j].EqualAnd(a, b) {
+			return j, true
+		}
+	}
+	v := a.Clone()
+	v.And(b)
+	return s.insert(h, v), false
+}
+
+// AddAndNot inserts (a &^ b), materializing the difference only when it is
+// not already present, and returns its dense id.
+func (s *VecSet) AddAndNot(a, b Vec) (id int, existed bool) {
+	h := s.hashAndNot(a, b)
+	for _, j := range s.buckets[h] {
+		if s.vecs[j].EqualAndNot(a, b) {
+			return j, true
+		}
+	}
+	v := a.Clone()
+	v.AndNot(b)
+	return s.insert(h, v), false
+}
+
+func (s *VecSet) insert(h uint64, v Vec) int {
+	id := len(s.vecs)
+	s.vecs = append(s.vecs, v)
+	s.buckets[h] = append(s.buckets[h], id)
+	return id
+}

@@ -306,6 +306,55 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestIncrementalCountersInMetrics checks the incremental scoring engine's
+// cache and delta counters flow through the server's shared recorder into
+// /metrics, and that a real run actually engages them — the state cache must
+// record misses (fresh partitions were interned) and splits must be priced
+// by delta, not full recomputation.
+func TestIncrementalCountersInMetrics(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := post(t, s, "/v1/partition?m=10&q=2&strategy=greedy", fixtureBody(t), nil); w.Code != http.StatusOK {
+		t.Fatal(w.Body.String())
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	body := w.Body.String()
+	metric := func(name string) int64 {
+		t.Helper()
+		for _, line := range strings.Split(body, "\n") {
+			var v int64
+			if _, err := fmt.Sscanf(line, name+" %d", &v); err == nil {
+				return v
+			}
+		}
+		t.Fatalf("metrics missing %q:\n%s", name, body)
+		return 0
+	}
+	// Exported at all, and zero is a legal value for the hit counters on a
+	// tiny fixture.
+	for _, name := range []string{
+		"xhybridd_core_state_cache_hits",
+		"xhybridd_core_groups_cache_hits",
+		"xhybridd_core_groups_cache_misses",
+		"xhybridd_core_cellindex_cells_scanned",
+	} {
+		metric(name)
+	}
+	if v := metric("xhybridd_core_state_cache_misses"); v == 0 {
+		t.Error("state cache recorded no misses; a run must intern fresh partitions")
+	}
+	if v := metric("xhybridd_core_score_delta"); v == 0 {
+		t.Error("no delta-priced scores; splits should not be fully recomputed")
+	}
+	if v := metric("xhybridd_core_score_full"); v == 0 {
+		t.Error("initial cost should be priced by one full summation")
+	}
+	if v := metric("xhybridd_core_cellindex_builds"); v == 0 {
+		t.Error("no partition-local cell indexes were built")
+	}
+}
+
 // TestGracefulShutdownDrains starts a real listener, opens a request whose
 // body is still streaming when shutdown begins, and checks that the drain
 // lets it finish with a full 200 instead of resetting the connection.

@@ -215,6 +215,57 @@ func (m *XMap) CountIn(cell int, partition gf2.Vec) int {
 	return m.cells[i].Patterns.PopCountAnd(partition)
 }
 
+// IntersectingSlots returns the slots (indices into XCells) of cells that
+// capture an X under at least one pattern of the partition bitset, in
+// ascending slot order. within restricts the scan to the given candidate
+// slots (already ascending); nil means scan every X-capturing cell. Since a
+// sub-partition can only intersect cells its parent partition intersects,
+// callers can derive a child's slot list from its parent's, shrinking every
+// later scan of the child to cells that actually matter.
+func (m *XMap) IntersectingSlots(part gf2.Vec, within []int32) []int32 {
+	m.ensureSorted()
+	var out []int32
+	if within == nil {
+		for i := range m.cells {
+			if m.cells[i].Patterns.PopCountAnd(part) > 0 {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, s := range within {
+		if m.cells[s].Patterns.PopCountAnd(part) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IntersectingSlotCounts is IntersectingSlots also returning each kept
+// slot's in-partition X count — the popcount the filter spends anyway, which
+// callers can bank: a cell is fully X in the partition exactly when its
+// count equals the partition size, and any sub-partition's count is bounded
+// by it.
+func (m *XMap) IntersectingSlotCounts(part gf2.Vec, within []int32) (slots, counts []int32) {
+	m.ensureSorted()
+	add := func(s int32) {
+		if n := m.cells[s].Patterns.PopCountAnd(part); n > 0 {
+			slots = append(slots, s)
+			counts = append(counts, int32(n))
+		}
+	}
+	if within == nil {
+		for i := range m.cells {
+			add(int32(i))
+		}
+		return slots, counts
+	}
+	for _, s := range within {
+		add(s)
+	}
+	return slots, counts
+}
+
 // Equal reports whether two maps have identical dimensions and X locations.
 func (m *XMap) Equal(o *XMap) bool {
 	if m.numPatterns != o.numPatterns || m.numCells != o.numCells || len(m.cells) != len(o.cells) {

@@ -289,3 +289,48 @@ func BenchmarkAddAscending(b *testing.B) {
 		})
 	}
 }
+
+func TestIntersectingSlots(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	m := New(40, 200)
+	for i := 0; i < 300; i++ {
+		m.Add(r.Intn(40), r.Intn(200))
+	}
+	part := gf2.NewVec(40)
+	for i := 0; i < 40; i++ {
+		if r.Intn(3) == 0 {
+			part.Set(i)
+		}
+	}
+	// Reference: every slot whose cell has an in-partition X count > 0.
+	var want []int32
+	for s, c := range m.XCells() {
+		if c.Patterns.PopCountAnd(part) > 0 {
+			want = append(want, int32(s))
+		}
+	}
+	got := m.IntersectingSlots(part, nil)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("IntersectingSlots(nil) = %v, want %v", got, want)
+	}
+	// Restricting to a superset candidate list must give the same answer, and
+	// splitting the partition must keep children within the parent's slots.
+	if again := m.IntersectingSlots(part, got); fmt.Sprint(again) != fmt.Sprint(want) {
+		t.Fatalf("IntersectingSlots(within) = %v, want %v", again, want)
+	}
+	side := part.Clone()
+	for i := 0; i < 40; i += 2 {
+		side.Clear(i)
+	}
+	rest := part.Clone()
+	rest.AndNot(side)
+	sideSlots := m.IntersectingSlots(side, got)
+	restSlots := m.IntersectingSlots(rest, got)
+	if fmt.Sprint(sideSlots) != fmt.Sprint(m.IntersectingSlots(side, nil)) ||
+		fmt.Sprint(restSlots) != fmt.Sprint(m.IntersectingSlots(rest, nil)) {
+		t.Fatal("child slot lists derived from parent differ from full scans")
+	}
+	if empty := m.IntersectingSlots(gf2.NewVec(40), nil); empty != nil {
+		t.Fatalf("empty partition intersects %v", empty)
+	}
+}
