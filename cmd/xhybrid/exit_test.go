@@ -1,0 +1,117 @@
+package main
+
+import (
+	"compress/gzip"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// stubExit replaces osExit with a panicking recorder so tests can observe
+// fatal exits without losing the process. Returns a pointer to the
+// recorded code (-1 until an exit happens).
+func stubExit(t *testing.T) *int {
+	t.Helper()
+	code := -1
+	old := osExit
+	osExit = func(c int) {
+		code = c
+		panic("osExit") // unwind like the real exit would
+	}
+	t.Cleanup(func() {
+		osExit = old
+		resetCleanups()
+	})
+	return &code
+}
+
+// callExpectingExit runs f, which must terminate via the stubbed osExit.
+func callExpectingExit(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("function returned instead of exiting")
+		}
+	}()
+	f()
+}
+
+// readGzip decompresses a pprof profile file (they are gzip-framed) and
+// returns the payload; any error means the file was torn or empty.
+func readGzip(t *testing.T, path string) []byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open profile: %v", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("profile %s is not valid gzip (torn or never flushed): %v", filepath.Base(path), err)
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("profile %s truncated: %v", filepath.Base(path), err)
+	}
+	return data
+}
+
+// TestDieFlushesProfiles is the regression for the fatal-path bug: die()
+// used to call os.Exit directly, so a failing run left -cpuprofile and
+// -memprofile truncated (CPU profile never stopped, heap profile never
+// written). A fatal exit must now produce the same valid profiles an
+// orderly run does.
+func TestDieFlushesProfiles(t *testing.T) {
+	code := stubExit(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	_, finish := startObs(false, "", cpu, mem, "")
+	_ = finish // the fatal path must not depend on main reaching this
+
+	callExpectingExit(t, func() { die(errors.New("boom")) })
+	if *code != 1 {
+		t.Fatalf("exit code = %d, want 1", *code)
+	}
+	if payload := readGzip(t, cpu); len(payload) == 0 {
+		t.Error("CPU profile flushed but empty")
+	}
+	if payload := readGzip(t, mem); len(payload) == 0 {
+		t.Error("heap profile flushed but empty")
+	}
+}
+
+// TestOrderlyFinishRunsOnce: the end-of-main closure and the exit-path
+// cleanup are the same registration; running both must not double-stop
+// the profile or double-print stats.
+func TestOrderlyFinishRunsOnce(t *testing.T) {
+	code := stubExit(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+
+	_, finish := startObs(false, "", cpu, "", "")
+	finish() // orderly end of main
+	readGzip(t, cpu)
+
+	// A later exit (e.g. usage error in a wrapper) must not re-run the
+	// profile teardown — StopCPUProfile on a stopped profile would be
+	// harmless, but the registration contract is at-most-once.
+	callExpectingExit(t, func() { exit(2) })
+	if *code != 2 {
+		t.Fatalf("exit code = %d, want 2", *code)
+	}
+	readGzip(t, cpu)
+}
+
+// TestExitWithoutObsStillExits: exit() with nothing registered is a plain
+// os.Exit.
+func TestExitWithoutObsStillExits(t *testing.T) {
+	code := stubExit(t)
+	callExpectingExit(t, func() { exit(3) })
+	if *code != 3 {
+		t.Fatalf("exit code = %d, want 3", *code)
+	}
+}

@@ -119,7 +119,10 @@ func startObs(stats bool, trace, cpuprofile, memprofile, pprofAddr string) (*xhy
 	if err != nil {
 		die(err)
 	}
-	return rec, func() {
+	// Registered with onExit so fatal paths (die, verify's FAIL exit) still
+	// stop the CPU profile and write the heap profile; an orderly main
+	// calls the same closure, which runs at most once either way.
+	return rec, onExit(func() {
 		if err := stopProf(); err != nil {
 			die(err)
 		}
@@ -136,7 +139,7 @@ func startObs(stats bool, trace, cpuprofile, memprofile, pprofAddr string) (*xhy
 		if werr != nil {
 			die(werr)
 		}
-	}
+	})
 }
 
 // reportMD prints a markdown report of the analysis and plan.
@@ -246,18 +249,15 @@ func verify(cells, patterns, m, q int, seed int64, workers int, rec *xhybrid.Sta
 		fmt.Println("PASS: no observable capture was masked (fault coverage preserved)")
 	} else {
 		fmt.Println("FAIL: observable captures masked")
-		os.Exit(1)
+		// Through the cleanup path: a failing verify run must still flush
+		// its profiles and stats.
+		exit(1)
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: xhybrid <analyze|partition|example|verify|report> [flags]")
-	os.Exit(2)
-}
-
-func die(err error) {
-	fmt.Fprintln(os.Stderr, "xhybrid:", err)
-	os.Exit(1)
+	exit(2)
 }
 
 func load(workloadName, inFile string, seed int64) (*xhybrid.XLocations, error) {

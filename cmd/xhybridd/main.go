@@ -6,6 +6,7 @@
 //
 //	xhybridd [-addr :8471] [-cache 128] [-queue 64] [-concurrency N]
 //	         [-job-workers N] [-job-timeout 60s] [-drain 30s]
+//	         [-spool DIR] [-checkpoint-every K]
 //
 // Endpoints:
 //
@@ -21,8 +22,21 @@
 //	                     rounds, splits scored, stage spans, ...).
 //	GET  /debug/pprof/   live profiling of the serving process.
 //
+// With -spool DIR the async jobs API comes up as well: submissions are
+// spooled to DIR, checkpoint every -checkpoint-every accepted rounds, and
+// survive restarts — on startup every unfinished spooled job resumes from
+// its last good checkpoint and finishes with the byte-identical plan.
+//
+//	POST   /v1/jobs             submit (same body/options as /v1/partition,
+//	                            plus checkpoint=K); answers 202 + job record.
+//	GET    /v1/jobs             list spooled jobs.
+//	GET    /v1/jobs/{id}        status with live per-round progress.
+//	GET    /v1/jobs/{id}/result finished plan (format=json|text).
+//	DELETE /v1/jobs/{id}        cancel.
+//
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes and
-// in-flight jobs drain for up to -drain before the process exits.
+// in-flight jobs drain for up to -drain before the process exits. Spooled
+// async jobs are interrupted resumably — the next start picks them up.
 package main
 
 import (
@@ -36,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"xhybrid/internal/jobs"
 	"xhybrid/internal/obs"
 	"xhybrid/internal/server"
 )
@@ -48,10 +63,28 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 0, "worker-goroutine ceiling per job (0 = all CPUs)")
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job compute deadline (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+	spool := flag.String("spool", "", "directory for durable async jobs (empty disables /v1/jobs)")
+	checkpointEvery := flag.Int("checkpoint-every", 8, "default async-job checkpoint cadence in accepted rounds")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "xhybridd: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
+	}
+
+	rec := obs.New()
+	var mgr *jobs.Manager
+	if *spool != "" {
+		var err error
+		mgr, err = jobs.Open(*spool, jobs.Config{
+			MaxConcurrent:   effective(*concurrency),
+			MaxQueue:        *queue,
+			CheckpointEvery: *checkpointEvery,
+			Obs:             rec,
+		})
+		if err != nil {
+			log.Fatalf("xhybridd: open spool: %v", err)
+		}
+		log.Printf("xhybridd: job spool at %s (checkpoint every %d rounds)", *spool, *checkpointEvery)
 	}
 
 	srv := server.New(server.Config{
@@ -61,7 +94,8 @@ func main() {
 		MaxWorkersPerJob: *jobWorkers,
 		JobTimeout:       *jobTimeout,
 		DrainTimeout:     *drain,
-		Obs:              obs.New(),
+		Jobs:             mgr,
+		Obs:              rec,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,7 +103,13 @@ func main() {
 
 	log.Printf("xhybridd: listening on %s (cache=%d queue=%d concurrency=%d)",
 		*addr, *cache, *queue, effective(*concurrency))
-	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+	err := srv.ListenAndServe(ctx, *addr)
+	if mgr != nil {
+		// Interrupt async jobs resumably: spooled state stays non-terminal
+		// and the next start recovers every unfinished job.
+		mgr.Stop()
+	}
+	if err != nil {
 		log.Fatalf("xhybridd: %v", err)
 	}
 	log.Printf("xhybridd: drained, bye")

@@ -115,6 +115,21 @@ type Params struct {
 	// runtime.GOMAXPROCS(0). Every parallel reduction is deterministic, so
 	// results are byte-identical for any worker count.
 	Workers int
+	// CheckpointEvery emits a checkpoint to CheckpointSink after every
+	// CheckpointEvery accepted rounds (0 disables checkpointing). Only
+	// RunCtx's round loop checkpoints; RunClustered ignores these fields.
+	CheckpointEvery int
+	// CheckpointSink receives the run's periodic checkpoints. It is called
+	// synchronously from the round loop at a commit boundary, so the
+	// checkpoint it sees is always resumable; an error from the sink aborts
+	// the run (durable callers wrap the sink with their own retry policy).
+	CheckpointSink func(*Checkpoint) error
+	// Resume, when non-nil, replays the checkpoint through the engine
+	// before the first selection round, verifying every recorded cost, and
+	// continues from where it left off — the resumed plan is byte-identical
+	// to an uninterrupted run. A checkpoint that fails verification aborts
+	// with ErrCheckpointMismatch.
+	Resume *Checkpoint
 	// Obs receives the run's counters and stage spans (rounds, candidate
 	// splits scored, masked-X recomputes, pool saturation). nil disables
 	// observation at no cost to the hot loops.
@@ -168,6 +183,9 @@ func (p Params) Validate() error {
 	}
 	if p.Workers < 0 {
 		return fmt.Errorf("core: negative Workers")
+	}
+	if p.CheckpointEvery < 0 {
+		return fmt.Errorf("core: negative CheckpointEvery")
 	}
 	return nil
 }
@@ -270,6 +288,7 @@ type evaluator struct {
 	obsFull        *obs.Counter
 	obsIndexBuilds *obs.Counter
 	obsIndexCells  *obs.Counter
+	obsCheckpoints *obs.Counter
 }
 
 // newEvaluator builds the run state; the caller must Close the evaluator's
@@ -299,6 +318,7 @@ func newEvaluator(ctx context.Context, m *xmap.XMap, params Params) *evaluator {
 		obsFull:        params.Obs.Counter("core.score.full"),
 		obsIndexBuilds: params.Obs.Counter("core.cellindex.builds"),
 		obsIndexCells:  params.Obs.Counter("core.cellindex.cells.scanned"),
+		obsCheckpoints: params.Obs.Counter("core.checkpoints.emitted"),
 	}
 }
 

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"xhybrid/internal/misr"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+)
+
+// resumeCase is one (X-map, Params) configuration that partitions over
+// enough accepted rounds to give kill points.
+func resumeCases(t *testing.T) []goldenCase {
+	var cases []goldenCase
+	for _, s := range []Strategy{StrategyPaper, StrategyPaperRandom, StrategyGreedyCost, StrategyPaperRetry} {
+		s := s
+		cases = append(cases, goldenCase{
+			name: fmt.Sprintf("fig4_%s", s),
+			gen: func(*testing.T) (*xmap.XMap, Params) {
+				p := fig4Params(2)
+				p.Strategy = s
+				p.Seed = 1
+				return fig4(), p
+			},
+		})
+		cases = append(cases, goldenCase{
+			name: fmt.Sprintf("cktb8_%s", s),
+			gen: func(t *testing.T) (*xmap.XMap, Params) {
+				prof := workload.Scaled(workload.CKTB(), 8)
+				m, err := prof.Generate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m, Params{
+					Geom:     prof.Geometry(),
+					Cancel:   xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+					Strategy: s,
+					Seed:     1,
+				}
+			},
+		})
+	}
+	return cases
+}
+
+// runCollecting runs to completion with CheckpointEvery=every, returning
+// the result and every checkpoint the run emitted.
+func runCollecting(t *testing.T, m *xmap.XMap, p Params, every int) (*Result, []*Checkpoint) {
+	t.Helper()
+	var cps []*Checkpoint
+	p.CheckpointEvery = every
+	p.CheckpointSink = func(cp *Checkpoint) error {
+		cps = append(cps, cp)
+		return nil
+	}
+	res, err := Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cps
+}
+
+// TestResumeByteIdentical is the resume-correctness gate: a run killed at
+// ANY checkpoint boundary and resumed from that checkpoint must produce a
+// plan byte-identical (canonical digest over rounds, partition membership,
+// mask cells and accounting) to the uninterrupted run — for all four
+// strategies.
+func TestResumeByteIdentical(t *testing.T) {
+	for _, tc := range resumeCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, p := tc.gen(t)
+			ref, cps := runCollecting(t, m, p, 1)
+			if len(cps) == 0 {
+				t.Fatalf("no checkpoints emitted; fixture accepted no round")
+			}
+			want := canonicalDigest(ref)
+			for i, cp := range cps {
+				rp := p
+				rp.Resume = cp
+				got, err := Run(m, rp)
+				if err != nil {
+					t.Fatalf("resume from checkpoint %d: %v", i, err)
+				}
+				if d := canonicalDigest(got); d != want {
+					t.Fatalf("resume from checkpoint %d (round %d): digest %s, want %s",
+						i, len(cp.Rounds), d, want)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeAcrossWorkerCounts resumes a serial run's checkpoint under a
+// parallel evaluator and vice versa; the plan may not depend on either
+// side's worker count.
+func TestResumeAcrossWorkerCounts(t *testing.T) {
+	prof := workload.Scaled(workload.CKTB(), 8)
+	m, err := prof.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{
+		Geom:     prof.Geometry(),
+		Cancel:   xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+		Strategy: StrategyGreedyCost,
+		Workers:  1,
+	}
+	ref, cps := runCollecting(t, m, p, 2)
+	if len(cps) < 2 {
+		t.Fatalf("want at least 2 checkpoints, got %d", len(cps))
+	}
+	want := canonicalDigest(ref)
+	mid := cps[len(cps)/2]
+	for _, workers := range []int{1, 3, 8} {
+		rp := p
+		rp.Workers = workers
+		rp.Resume = mid
+		got, err := Run(m, rp)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d := canonicalDigest(got); d != want {
+			t.Fatalf("workers=%d: digest %s, want %s", workers, d, want)
+		}
+	}
+}
+
+// TestResumeEmitsRemainingCheckpoints locks the emission cadence across a
+// resume: a resumed run only re-emits checkpoints for NEW accepted rounds,
+// and its final state matches the uninterrupted run's final checkpoint.
+func TestResumeEmitsRemainingCheckpoints(t *testing.T) {
+	m, p := fig4(), fig4Params(2)
+	_, cps := runCollecting(t, m, p, 1)
+	if len(cps) < 2 {
+		t.Skipf("fixture emitted %d checkpoints; need 2", len(cps))
+	}
+	rp := p
+	rp.Resume = cps[0]
+	_, resumed := runCollecting(t, m, rp, 1)
+	if want := len(cps) - 1; len(resumed) != want {
+		t.Fatalf("resumed run emitted %d checkpoints, want %d", len(resumed), want)
+	}
+	last, refLast := resumed[len(resumed)-1], cps[len(cps)-1]
+	if last.StateDigest != refLast.StateDigest || last.Cost != refLast.Cost || len(last.Rounds) != len(refLast.Rounds) {
+		t.Fatalf("final resumed checkpoint diverges: %+v vs %+v", last, refLast)
+	}
+}
+
+// TestResumeRejectsTampering locks the integrity checks: any tampered or
+// mismatched checkpoint must fail with ErrCheckpointMismatch instead of
+// silently continuing from a state the engine cannot vouch for.
+func TestResumeRejectsTampering(t *testing.T) {
+	m, p := fig4(), fig4Params(2)
+	_, cps := runCollecting(t, m, p, 1)
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints emitted")
+	}
+	base := cps[len(cps)-1]
+	clone := func() *Checkpoint {
+		c := *base
+		c.Rounds = append([]Round(nil), base.Rounds...)
+		return &c
+	}
+	cases := map[string]func(*Checkpoint){
+		"version":        func(c *Checkpoint) { c.Version = CheckpointVersion + 1 },
+		"strategy":       func(c *Checkpoint) { c.Strategy = "greedy-cost" },
+		"seed":           func(c *Checkpoint) { c.Seed++ },
+		"dims":           func(c *Checkpoint) { c.Patterns++ },
+		"cost":           func(c *Checkpoint) { c.Cost++ },
+		"digest":         func(c *Checkpoint) { c.StateDigest ^= 1 },
+		"round-cost":     func(c *Checkpoint) { c.Rounds[0].CostAfter++ },
+		"round-cell":     func(c *Checkpoint) { c.Rounds[0].SplitCell = -1 },
+		"round-part":     func(c *Checkpoint) { c.Rounds[0].SplitPartition = 99 },
+		"round-verdict":  func(c *Checkpoint) { c.Rounds[len(c.Rounds)-1].Accepted = false },
+		"round-renumber": func(c *Checkpoint) { c.Rounds[0].Round = 7 },
+	}
+	for name, tamper := range cases {
+		name, tamper := name, tamper
+		t.Run(name, func(t *testing.T) {
+			cp := clone()
+			tamper(cp)
+			rp := p
+			rp.Resume = cp
+			_, err := Run(m, rp)
+			if !errors.Is(err, ErrCheckpointMismatch) {
+				t.Fatalf("tampered checkpoint: err=%v, want ErrCheckpointMismatch", err)
+			}
+		})
+	}
+}
+
+// TestCheckpointSinkErrorAborts: a failing sink aborts the run with its
+// error (durable callers wrap the sink with retry; the engine must not
+// silently continue past a checkpoint it could not persist).
+func TestCheckpointSinkErrorAborts(t *testing.T) {
+	m, p := fig4(), fig4Params(2)
+	sinkErr := errors.New("spool on fire")
+	p.CheckpointEvery = 1
+	p.CheckpointSink = func(*Checkpoint) error { return sinkErr }
+	if _, err := Run(m, p); !errors.Is(err, sinkErr) {
+		t.Fatalf("err=%v, want wrapped sink error", err)
+	}
+}

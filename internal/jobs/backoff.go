@@ -1,0 +1,107 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the retry-with-exponential-backoff-and-jitter loop the
+// Store wraps around every spool I/O operation. Spool writes hit the same
+// failure modes any disk path does — NFS hiccups, ENOSPC races with log
+// rotation, container volume remounts — and a job that has been computing
+// for minutes must not die to one transient EIO.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (default 5; 1 disables
+	// retrying).
+	Attempts int
+	// Base is the first backoff delay (default 10ms); each retry doubles
+	// it up to Max (default 1s).
+	Base time.Duration
+	Max  time.Duration
+	// Jitter is the fraction of each delay drawn uniformly at random and
+	// added on top (default 0.5), decorrelating retry storms across jobs.
+	Jitter float64
+
+	// sleep and rng are test seams; nil means real time and a shared
+	// process-wide source.
+	sleep func(time.Duration)
+	rng   func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.sleep == nil {
+		p.sleep = func(d time.Duration) { time.Sleep(d) }
+	}
+	if p.rng == nil {
+		p.rng = jitterFloat
+	}
+	return p
+}
+
+// jitterRng is the process-wide jitter source (math/rand's global source is
+// fine here — jitter needs decorrelation, not reproducibility).
+var (
+	jitterMu  sync.Mutex
+	jitterSrc = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func jitterFloat() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterSrc.Float64()
+}
+
+// permanent marks errors no retry can fix: a missing file stays missing,
+// and a canceled context must stop the loop immediately.
+func permanent(err error) bool {
+	return errors.Is(err, fs.ErrNotExist) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// retry runs op under the policy: transient errors back off exponentially
+// (with jitter) and try again, permanent ones and exhausted budgets return
+// the last error. onRetry (may be nil) observes each scheduled retry.
+func (p RetryPolicy) retry(ctx context.Context, op func() error, onRetry func(err error)) error {
+	p = p.withDefaults()
+	delay := p.Base
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil || permanent(err) {
+			return err
+		}
+		if attempt >= p.Attempts {
+			return fmt.Errorf("jobs: %d attempts exhausted: %w", p.Attempts, err)
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if onRetry != nil {
+			onRetry(err)
+		}
+		d := delay + time.Duration(p.rng()*p.Jitter*float64(delay))
+		p.sleep(d)
+		if delay *= 2; delay > p.Max {
+			delay = p.Max
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"testing"
+	"time"
+)
+
+// stubPolicy returns a policy with instrumented sleep and zeroed jitter so
+// delays are exact.
+func stubPolicy(attempts int) (RetryPolicy, *[]time.Duration) {
+	slept := new([]time.Duration)
+	return RetryPolicy{
+		Attempts: attempts,
+		Base:     10 * time.Millisecond,
+		Max:      40 * time.Millisecond,
+		Jitter:   -1, // withDefaults clamps negative to 0: no jitter
+		sleep:    func(d time.Duration) { *slept = append(*slept, d) },
+		rng:      func() float64 { return 1 },
+	}, slept
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	p, slept := stubPolicy(5)
+	calls, retries := 0, 0
+	err := p.retry(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}, func(error) { retries++ })
+	if err != nil {
+		t.Fatalf("retry = %v, want nil", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Errorf("calls = %d, retries = %d, want 3 and 2", calls, retries)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i, d := range want {
+		if (*slept)[i] != d {
+			t.Errorf("delay[%d] = %v, want %v (exponential doubling)", i, (*slept)[i], d)
+		}
+	}
+}
+
+func TestRetryDelayCap(t *testing.T) {
+	p, slept := stubPolicy(6)
+	_ = p.retry(context.Background(), func() error { return errors.New("always") }, nil)
+	// 10, 20, 40, then capped at 40, 40.
+	if n := len(*slept); n != 5 {
+		t.Fatalf("slept %d times, want 5", n)
+	}
+	if last := (*slept)[4]; last != 40*time.Millisecond {
+		t.Errorf("final delay = %v, want capped 40ms", last)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	p, slept := stubPolicy(5)
+	calls := 0
+	err := p.retry(context.Background(), func() error {
+		calls++
+		return fs.ErrNotExist
+	}, nil)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("retry = %v, want ErrNotExist", err)
+	}
+	if calls != 1 || len(*slept) != 0 {
+		t.Errorf("calls = %d, sleeps = %d, want 1 and 0 (permanent error)", calls, len(*slept))
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	p, _ := stubPolicy(3)
+	calls := 0
+	sentinel := errors.New("disk on fire")
+	err := p.retry(context.Background(), func() error {
+		calls++
+		return sentinel
+	}, nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("retry = %v, want wrapped sentinel", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3 (the attempt budget)", calls)
+	}
+}
+
+func TestRetryStopsOnCanceledContext(t *testing.T) {
+	p, slept := stubPolicy(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := p.retry(ctx, func() error {
+		calls++
+		return errors.New("transient")
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("retry = %v, want context.Canceled", err)
+	}
+	if calls != 1 || len(*slept) != 0 {
+		t.Errorf("calls = %d, sleeps = %d, want 1 and 0 (dead context)", calls, len(*slept))
+	}
+}
+
+func TestRetryJitterBounds(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		Attempts: 2,
+		Base:     100 * time.Millisecond,
+		Jitter:   0.5,
+		sleep:    func(d time.Duration) { slept = append(slept, d) },
+		rng:      func() float64 { return 1 }, // max jitter draw
+	}
+	_ = p.retry(context.Background(), func() error { return errors.New("x") }, nil)
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(slept))
+	}
+	if slept[0] != 150*time.Millisecond {
+		t.Errorf("delay = %v, want 150ms (base + full 50%% jitter)", slept[0])
+	}
+}

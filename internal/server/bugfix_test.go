@@ -1,0 +1,95 @@
+package server
+
+// Regression tests for the body-handling bug sweep: oversized bodies must
+// be 413 on every body-reading endpoint (analyze used to mislabel them
+// 400), and Content-Type text detection must follow RFC 9110
+// case-insensitivity and ignore parameters (it used to be a raw
+// case-sensitive prefix match).
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"xhybrid"
+)
+
+// TestOversizedBody413 holds every body-reading endpoint to the same
+// contract: a body past MaxBodyBytes is 413 Request Entity Too Large, not
+// a 400 parse error. /v1/analyze used to fall into the 400 branch because
+// it skipped the MaxBytesError check /v1/partition had.
+func TestOversizedBody413(t *testing.T) {
+	body := fixtureBody(t)
+	cfg := Config{MaxBodyBytes: 16} // far below the fixture's size
+	endpoints := []string{"/v1/partition", "/v1/analyze"}
+	for _, ep := range endpoints {
+		t.Run(ep, func(t *testing.T) {
+			s := newTestServer(t, cfg)
+			w := post(t, s, ep, body, nil)
+			if w.Code != http.StatusRequestEntityTooLarge {
+				t.Fatalf("%s with oversized body = %d, want 413 (body %s)", ep, w.Code, w.Body.String())
+			}
+		})
+	}
+	// Small bodies still parse (the limit, not the helper, decides).
+	for _, ep := range endpoints {
+		s := newTestServer(t, Config{})
+		if w := post(t, s, ep+"?m=10&q=2", body, nil); w.Code != http.StatusOK {
+			t.Fatalf("%s under the limit = %d: %s", ep, w.Code, w.Body.String())
+		}
+	}
+}
+
+// TestReadXMapContentTypeVariants locks the Content-Type dispatch to RFC
+// 9110 semantics with a table over casing and parameter spellings. Before
+// the mime.ParseMediaType fix, "Text/Plain; charset=utf-8" fell through
+// to the JSON parser.
+func TestReadXMapContentTypeVariants(t *testing.T) {
+	x := xhybrid.PaperExample()
+	var textBody bytes.Buffer
+	if err := x.WriteText(&textBody); err != nil {
+		t.Fatal(err)
+	}
+	jsonBody := fixtureBody(t)
+
+	cases := []struct {
+		name        string
+		contentType string
+		text        bool // which body format the server must expect
+	}{
+		{"lowercase text", "text/plain", true},
+		{"mixed case text", "Text/Plain", true},
+		{"upper case text", "TEXT/PLAIN", true},
+		{"text with charset", "text/plain; charset=utf-8", true},
+		{"mixed case with charset", "Text/Plain; Charset=UTF-8", true},
+		{"text csv subtype", "text/csv", true},
+		{"json", "application/json", false},
+		{"json mixed case with charset", "Application/JSON; charset=utf-8", false},
+		{"empty", "", false},
+		{"unparsable media type", ";;;", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := jsonBody
+			if tc.text {
+				body = textBody.Bytes()
+			}
+			hdr := map[string]string{}
+			if tc.contentType != "" {
+				hdr["Content-Type"] = tc.contentType
+			}
+			s := newTestServer(t, Config{})
+			w := post(t, s, "/v1/analyze", body, hdr)
+			if w.Code != http.StatusOK {
+				t.Fatalf("Content-Type %q with matching body = %d: %s", tc.contentType, w.Code, w.Body.String())
+			}
+		})
+	}
+
+	// The query parameter still forces text regardless of header.
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/analyze?input=text", textBody.Bytes(), map[string]string{"Content-Type": "application/octet-stream"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("input=text override = %d: %s", w.Code, w.Body.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"xhybrid"
+	"xhybrid/internal/jobs"
 	"xhybrid/internal/obs"
 )
 
@@ -42,6 +44,11 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown's wait for in-flight jobs
 	// (default 30s).
 	DrainTimeout time.Duration
+	// Jobs enables the async /v1/jobs API: submissions are spooled to disk
+	// by this manager, survive restarts, and resume from their last
+	// checkpoint. nil leaves the endpoints unregistered (synchronous
+	// /v1/partition is unaffected either way).
+	Jobs *jobs.Manager
 	// Obs receives every counter and span of the server and the pipeline
 	// runs it hosts; nil creates a fresh recorder (the /metrics endpoint
 	// needs one to scrape).
@@ -106,6 +113,13 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/partition", s.handlePartition)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	if cfg.Jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	}
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -230,14 +244,36 @@ func (s *Server) clampWorkers(requested int) int {
 
 // readXMap parses the request body as an X-location map: the text format
 // when the input=text parameter or a text/* Content-Type says so, the JSON
-// format otherwise.
+// format otherwise. Content-Type matching follows RFC 9110 — the media
+// type is case-insensitive and parameters (charset=...) are ignored — so
+// "Text/Plain; charset=utf-8" selects the text parser just like
+// "text/plain".
 func readXMap(r *http.Request) (*xhybrid.XLocations, error) {
-	asText := r.URL.Query().Get("input") == "text" ||
-		strings.HasPrefix(r.Header.Get("Content-Type"), "text/")
+	asText := r.URL.Query().Get("input") == "text"
+	if !asText {
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			if mt, _, err := mime.ParseMediaType(ct); err == nil {
+				asText = strings.HasPrefix(mt, "text/")
+			}
+		}
+	}
 	if asText {
 		return xhybrid.ReadXLocationsText(r.Body)
 	}
 	return xhybrid.ReadXLocations(r.Body)
+}
+
+// bodyErrStatus classifies an X-map read failure: a body over the
+// MaxBytesReader limit is 413 (the input was never seen whole), anything
+// else is a 400 parse error. Every body-reading endpoint must route read
+// errors through this — /v1/analyze once skipped the MaxBytesError check
+// and mislabeled oversized bodies as 400 parse failures.
+func bodyErrStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // designInfo summarizes the parsed input in responses.
@@ -283,12 +319,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	x, err := readXMap(r)
 	if err != nil {
 		s.badReq.Inc()
-		status := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			status = http.StatusRequestEntityTooLarge
-		}
-		s.errorJSON(w, status, err)
+		s.errorJSON(w, bodyErrStatus(err), err)
 		return
 	}
 	digest, err := planDigest(x, ro.opt)
@@ -387,7 +418,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	x, err := readXMap(r)
 	if err != nil {
 		s.badReq.Inc()
-		s.errorJSON(w, http.StatusBadRequest, err)
+		s.errorJSON(w, bodyErrStatus(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -408,6 +439,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.rec.Set("server.queue.running", running)
 	s.rec.Set("server.queue.waiting", waiting)
 	s.rec.Set("server.cache.entries", int64(s.cache.len()))
+	if s.cfg.Jobs != nil {
+		jr, jw := s.cfg.Jobs.Depth()
+		s.rec.Set("jobs.queue.running", jr)
+		s.rec.Set("jobs.queue.waiting", jw)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = writeMetrics(w, s.rec.Snapshot())
 }

@@ -13,6 +13,8 @@ package xmap
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"xhybrid/internal/gf2"
 	"xhybrid/internal/logic"
@@ -37,9 +39,13 @@ type XMap struct {
 	numCells    int
 	// cells holds the X-capturing cells; ascending cell-index order is
 	// restored lazily (see ensureSorted), so unsorted tracks whether an
-	// out-of-order Add has happened since the last sort.
+	// out-of-order Add has happened since the last sort. unsorted is
+	// atomic and the sort itself is mutex-guarded so that the first
+	// concurrent readers after a build race neither the sort nor each
+	// other; once sorted, every read path is lock-free again.
 	cells    []CellX
-	unsorted bool
+	unsorted atomic.Bool
+	sortMu   sync.Mutex
 	// slot maps a cell index to its position in cells. It is maintained
 	// eagerly and stays valid whether or not cells is currently sorted.
 	slot map[int]int
@@ -104,29 +110,38 @@ func (m *XMap) appendCell(cell int) int {
 	m.cells = append(m.cells, CellX{Cell: cell, Patterns: gf2.NewVec(m.numPatterns)})
 	m.slot[cell] = i
 	if i > 0 && m.cells[i-1].Cell > cell {
-		m.unsorted = true
+		m.unsorted.Store(true)
 	}
 	return i
 }
 
 // ensureSorted restores ascending cell order after out-of-order Adds. It
-// mutates cells and slot, so it must not run concurrently with readers:
-// callers that fan XCells/PatternCells readers out across goroutines must
-// touch one sorted accessor at a serial point first (core.newEvaluator
-// does exactly that before starting its worker pool).
+// mutates cells and slot, so it is double-check locked: readers that
+// arrive while the map is still unsorted serialize on sortMu (the first
+// one sorts, the rest see the done flag and fall through), and once the
+// atomic flag is clear every read path is lock-free. Builds (Add) are
+// still single-writer — only the read side is safe to fan out across
+// goroutines, which is exactly how core's worker pool and the server's
+// concurrent analyze handlers use a finished map.
 func (m *XMap) ensureSorted() {
-	if !m.unsorted {
+	if !m.unsorted.Load() {
+		return
+	}
+	m.sortMu.Lock()
+	defer m.sortMu.Unlock()
+	if !m.unsorted.Load() {
 		return
 	}
 	sort.Slice(m.cells, func(a, b int) bool { return m.cells[a].Cell < m.cells[b].Cell })
 	for i, c := range m.cells {
 		m.slot[c.Cell] = i
 	}
-	m.unsorted = false
+	m.unsorted.Store(false)
 }
 
 // Has reports whether cell captures X under pattern p.
 func (m *XMap) Has(p, cell int) bool {
+	m.ensureSorted()
 	i, ok := m.slot[cell]
 	if !ok {
 		return false
@@ -147,6 +162,7 @@ func (m *XMap) NumXCells() int { return len(m.cells) }
 // CellPatterns returns the pattern bitset for a cell, or ok=false if the
 // cell never captures an X. The bitset is shared; treat as read-only.
 func (m *XMap) CellPatterns(cell int) (gf2.Vec, bool) {
+	m.ensureSorted()
 	i, ok := m.slot[cell]
 	if !ok {
 		return gf2.Vec{}, false
@@ -156,6 +172,7 @@ func (m *XMap) CellPatterns(cell int) (gf2.Vec, bool) {
 
 // TotalX returns the total number of X values across all patterns.
 func (m *XMap) TotalX() int {
+	m.ensureSorted()
 	n := 0
 	for _, c := range m.cells {
 		n += c.Patterns.PopCount()
@@ -165,6 +182,7 @@ func (m *XMap) TotalX() int {
 
 // PatternXCounts returns, for each pattern, the number of X's it captures.
 func (m *XMap) PatternXCounts() []int {
+	m.ensureSorted()
 	counts := make([]int, m.numPatterns)
 	for _, c := range m.cells {
 		c.Patterns.ForEach(func(p int) { counts[p]++ })
@@ -208,6 +226,7 @@ func (m *XMap) Clone() *XMap {
 // CountIn returns the number of patterns in the partition bitset under which
 // cell captures an X. Returns 0 for cells that never capture X.
 func (m *XMap) CountIn(cell int, partition gf2.Vec) int {
+	m.ensureSorted()
 	i, ok := m.slot[cell]
 	if !ok {
 		return 0
