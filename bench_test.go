@@ -9,6 +9,7 @@
 package xhybrid
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -544,6 +545,50 @@ func BenchmarkBISTSession(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ct.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadXLocationsBinary measures the binary wire decoder on the
+// full CKT-B map — the serving layer's cold-request parse cost, gated
+// against regression by CI. BenchmarkReadXLocationsJSON decodes the same
+// map from JSON for the format-tax comparison.
+func BenchmarkReadXLocationsBinary(b *testing.B) {
+	x, err := Workload("ckt-b", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := x.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadXLocationsBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadXLocationsJSON(b *testing.B) {
+	x, err := Workload("ckt-b", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := x.WriteJSON(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadXLocations(bytes.NewReader(data)); err != nil {
 			b.Fatal(err)
 		}
 	}

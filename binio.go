@@ -1,0 +1,214 @@
+package xhybrid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"xhybrid/internal/gf2"
+)
+
+// Binary X-location wire format ("XMAPB", version 1).
+//
+// The JSON form spells every pattern index out in decimal and re-parses it
+// through reflection; for the synthetic industrial workloads that tax is
+// larger than the partitioning compute it feeds. The binary form is a
+// varint stream a streaming decoder can turn into per-cell bitsets without
+// any intermediate allocation:
+//
+//	magic   5 bytes  "XMAPB"
+//	version 1 byte   0x01
+//	header  uvarint × 4: chains, chainLen, patterns, numXCells
+//	record  × numXCells, ascending by cell:
+//	        uvarint cell     first record: absolute cell index
+//	                         later records: gap from the previous cell
+//	        uvarint count    number of X patterns of the cell (≥ 1)
+//	        uvarint pattern  × count, ascending; first absolute, rest gaps
+//
+// Gaps between ascending records are always ≥ 1, so an encoded gap of 0
+// can only mean a duplicate (or out-of-order) record — the decoder rejects
+// it, mirroring ReadXLocations' refusal to silently merge duplicates. No
+// trailing bytes are permitted after the last record.
+const (
+	binMagic   = "XMAPB"
+	binVersion = 1
+)
+
+// binMaxValue bounds every decoded uvarint so int conversions are safe and
+// a corrupt stream cannot request absurd allocations before the dimension
+// checks run.
+const binMaxValue = math.MaxInt32
+
+// WriteBinary serializes the X locations in the compact binary wire format.
+// The encoding is canonical: equal maps produce byte-identical output
+// regardless of build order, which is what lets the serving layer use it as
+// a cache key.
+func (x *XLocations) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binVersion); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUv := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	cells := x.m.XCells()
+	for _, v := range [...]uint64{
+		uint64(x.geom.Chains), uint64(x.geom.ChainLen),
+		uint64(x.m.Patterns()), uint64(len(cells)),
+	} {
+		if err := writeUv(v); err != nil {
+			return err
+		}
+	}
+	prevCell := -1
+	for _, c := range cells {
+		gap := c.Cell // first record: absolute
+		if prevCell >= 0 {
+			gap = c.Cell - prevCell
+		}
+		if err := writeUv(uint64(gap)); err != nil {
+			return err
+		}
+		prevCell = c.Cell
+		ps := c.Patterns.Indices()
+		if err := writeUv(uint64(len(ps))); err != nil {
+			return err
+		}
+		prevP := -1
+		for _, p := range ps {
+			gap := p
+			if prevP >= 0 {
+				gap = p - prevP
+			}
+			if err := writeUv(uint64(gap)); err != nil {
+				return err
+			}
+			prevP = p
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadXLocationsBinary parses the binary wire format, streaming: each
+// record's gap-coded pattern list is decoded straight into that cell's
+// bitset and installed in one step, so decode cost is proportional to the
+// X count with no per-pattern map probes and no intermediate index slices.
+// Truncation, varint overflow, out-of-range dimensions and duplicate (or
+// out-of-order) records are all rejected.
+func ReadXLocationsBinary(r io.Reader) (*XLocations, error) {
+	br := bufio.NewReader(r)
+	var head [len(binMagic) + 1]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("xhybrid: binary header: %w", binEOF(err))
+	}
+	if string(head[:len(binMagic)]) != binMagic {
+		return nil, fmt.Errorf("xhybrid: not a binary X-location stream (bad magic %q)", head[:len(binMagic)])
+	}
+	if head[len(binMagic)] != binVersion {
+		return nil, fmt.Errorf("xhybrid: unsupported binary version %d (want %d)", head[len(binMagic)], binVersion)
+	}
+	readUv := func(what string) (int, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("xhybrid: binary %s: %w", what, binEOF(err))
+		}
+		if v > binMaxValue {
+			return 0, fmt.Errorf("xhybrid: binary %s %d exceeds limit %d", what, v, binMaxValue)
+		}
+		return int(v), nil
+	}
+	chains, err := readUv("chains")
+	if err != nil {
+		return nil, err
+	}
+	chainLen, err := readUv("chainLen")
+	if err != nil {
+		return nil, err
+	}
+	patterns, err := readUv("patterns")
+	if err != nil {
+		return nil, err
+	}
+	numCells, err := readUv("cell count")
+	if err != nil {
+		return nil, err
+	}
+	x, err := NewXLocations(chains, chainLen, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if numCells > x.Cells() {
+		return nil, fmt.Errorf("xhybrid: binary declares %d X cells for %d-cell design", numCells, x.Cells())
+	}
+	prevCell := -1
+	for i := 0; i < numCells; i++ {
+		gap, err := readUv("cell gap")
+		if err != nil {
+			return nil, err
+		}
+		cell := gap
+		if prevCell >= 0 {
+			if gap == 0 {
+				return nil, fmt.Errorf("xhybrid: duplicate record for cell %d", prevCell)
+			}
+			cell = prevCell + gap
+		}
+		if cell >= x.Cells() {
+			return nil, fmt.Errorf("xhybrid: cell %d out of range [0,%d)", cell, x.Cells())
+		}
+		count, err := readUv("pattern count")
+		if err != nil {
+			return nil, err
+		}
+		if count < 1 || count > patterns {
+			return nil, fmt.Errorf("xhybrid: cell %d: pattern count %d out of range [1,%d]", cell, count, patterns)
+		}
+		v := gf2.NewVec(patterns)
+		prevP := -1
+		for j := 0; j < count; j++ {
+			gap, err := readUv("pattern gap")
+			if err != nil {
+				return nil, err
+			}
+			p := gap
+			if prevP >= 0 {
+				if gap == 0 {
+					return nil, fmt.Errorf("xhybrid: cell %d: duplicate pattern %d", cell, prevP)
+				}
+				p = prevP + gap
+			}
+			if p >= patterns {
+				return nil, fmt.Errorf("xhybrid: cell %d: pattern %d out of range [0,%d)", cell, p, patterns)
+			}
+			v.Set(p)
+			prevP = p
+		}
+		x.m.SetCellPatterns(cell, v)
+		prevCell = cell
+	}
+	if _, err := br.ReadByte(); err == nil {
+		return nil, errors.New("xhybrid: trailing data after binary X-location stream")
+	} else if err != io.EOF {
+		return nil, err
+	}
+	return x, nil
+}
+
+// binEOF turns a mid-stream io.EOF into io.ErrUnexpectedEOF: once the magic
+// has been committed to, running out of bytes is truncation, not a clean
+// end of input.
+func binEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

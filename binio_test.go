@@ -1,0 +1,189 @@
+package xhybrid
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// binStream assembles a binary X-location stream by hand for the error
+// tests: the standard header followed by arbitrary uvarint fields.
+func binStream(fields ...uint64) []byte {
+	out := append([]byte(binMagic), binVersion)
+	for _, f := range fields {
+		out = binary.AppendUvarint(out, f)
+	}
+	return out
+}
+
+func randomXLocations(t *testing.T, seed int64, chains, chainLen, patterns int, density float64) *XLocations {
+	t.Helper()
+	x, err := NewXLocations(chains, chainLen, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for c := 0; c < chains; c++ {
+		for pos := 0; pos < chainLen; pos++ {
+			for p := 0; p < patterns; p++ {
+				if r.Float64() < density {
+					if err := x.AddX(p, c, pos); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for name, x := range map[string]*XLocations{
+		"paper":  PaperExample(),
+		"random": randomXLocations(t, 11, 7, 23, 190, 0.04),
+		"dense":  randomXLocations(t, 5, 2, 3, 70, 0.6),
+		"empty": func() *XLocations {
+			x, err := NewXLocations(3, 4, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return x
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := x.WriteBinary(&buf); err != nil {
+				t.Fatal(err)
+			}
+			y, err := ReadXLocationsBinary(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !y.m.Equal(x.m) {
+				t.Fatal("binary round trip changed the map")
+			}
+			if y.geom != x.geom {
+				t.Fatal("binary round trip changed the geometry")
+			}
+		})
+	}
+}
+
+// The binary encoding is canonical: the same logical map serializes to
+// byte-identical output whatever order it was built in. The serving layer's
+// cache key depends on this.
+func TestBinaryCanonical(t *testing.T) {
+	a, err := NewXLocations(4, 5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewXLocations(4, 5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type loc struct{ p, chain, pos int }
+	locs := []loc{{3, 1, 2}, {0, 0, 0}, {15, 3, 4}, {7, 1, 2}, {2, 2, 0}, {9, 0, 4}}
+	for _, l := range locs {
+		if err := a.AddX(l.p, l.chain, l.pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := len(locs) - 1; i >= 0; i-- {
+		if err := b.AddX(locs[i].p, locs[i].chain, locs[i].pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ba, bb bytes.Buffer
+	if err := a.WriteBinary(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteBinary(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("build order leaked into the binary encoding")
+	}
+}
+
+// Binary and JSON must describe the same map; the binary form exists to be
+// cheaper, not different.
+func TestBinaryJSONCrossFormat(t *testing.T) {
+	x := randomXLocations(t, 3, 5, 17, 120, 0.05)
+	var js, bin bytes.Buffer
+	if err := x.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= js.Len() {
+		t.Fatalf("binary (%d bytes) not smaller than JSON (%d bytes)", bin.Len(), js.Len())
+	}
+	fromJSON, err := ReadXLocations(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadXLocationsBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromJSON.m.Equal(fromBin.m) {
+		t.Fatal("JSON and binary round trips disagree")
+	}
+}
+
+func TestReadXLocationsBinaryErrors(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := PaperExample().WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	overflow := append([]byte(binMagic), binVersion)
+	overflow = append(overflow, bytes.Repeat([]byte{0xff}, 10)...)
+	cases := []struct {
+		name    string
+		in      []byte
+		wantErr string
+	}{
+		{"empty", nil, "unexpected EOF"},
+		{"magic only", []byte(binMagic), "unexpected EOF"},
+		{"bad magic", []byte("XMAPQ\x01"), "bad magic"},
+		{"bad version", []byte(binMagic + "\x07"), "unsupported binary version"},
+		{"header truncated", binStream(5, 3), "unexpected EOF"},
+		{"record truncated", valid[:len(valid)-2], "unexpected EOF"},
+		{"varint overflow", overflow, "overflow"},
+		{"oversized dimension", binStream(1 << 40), "exceeds limit"},
+		{"zero geometry", binStream(0, 1, 1, 0), "chain"},
+		{"zero patterns", binStream(1, 1, 0, 0), "pattern count"},
+		{"too many cell records", binStream(2, 2, 4, 5), "5 X cells for 4-cell design"},
+		// 2x2 cells, 4 patterns, 2 records: cell 1 then gap 0 = duplicate.
+		{"duplicate cell", binStream(2, 2, 4, 2, 1, 1, 0, 0, 1, 0), "duplicate record for cell 1"},
+		// one record, cell 0, count 2, pattern 3 then gap 0 = duplicate.
+		{"duplicate pattern", binStream(2, 2, 4, 1, 0, 2, 3, 0), "duplicate pattern 3"},
+		{"cell out of range", binStream(2, 2, 4, 1, 9, 1, 0), "cell 9 out of range"},
+		{"pattern out of range", binStream(2, 2, 4, 1, 0, 1, 6), "pattern 6 out of range"},
+		{"zero pattern count", binStream(2, 2, 4, 1, 0, 0), "pattern count 0 out of range"},
+		{"excess pattern count", binStream(2, 2, 4, 1, 0, 5), "pattern count 5 out of range"},
+		{"trailing data", append(append([]byte{}, valid...), 0x00), "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadXLocationsBinary(bytes.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("accepted malformed stream")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := ReadXLocationsBinary(bytes.NewReader(nil)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation error %v does not match io.ErrUnexpectedEOF", err)
+	}
+}

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	partbench -profile ckt-b -strategy greedy-cost [-scale K] [-runs N]
+//	partbench -profile ckt-b -strategy greedy-cost -sweep 1,2,4,8
+//
+// -sweep measures the same configuration once per listed worker count and
+// emits a JSON array of reports, one per count. The sweep refuses to report
+// at all if the plans diverge: totalBits, partitions and rounds must be
+// byte-identical across every worker count (the engine's determinism
+// contract), so the only thing the sweep can show moving is wall time.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,6 +30,7 @@ import (
 	"xhybrid/internal/obs"
 	"xhybrid/internal/workload"
 	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
 )
 
 // report is one measured configuration, serialized as JSON.
@@ -51,6 +60,7 @@ func main() {
 	q := flag.Int("q", 7, "X-free combinations per halt")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 	runs := flag.Int("runs", 1, "measured runs (best and mean wall time are reported)")
+	sweep := flag.String("sweep", "", "comma-separated worker counts; measure each and emit a JSON array")
 	flag.Parse()
 
 	var prof workload.Profile
@@ -85,20 +95,55 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if *sweep == "" {
+		rep := measure(m, prof, strat, *scale, *mSize, *q, *workers, *runs)
+		if err := enc.Encode(rep); err != nil {
+			die(err)
+		}
+		return
+	}
+	var reps []report
+	for _, f := range strings.Split(*sweep, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 0 {
+			die(fmt.Errorf("bad -sweep entry %q", f))
+		}
+		rep := measure(m, prof, strat, *scale, *mSize, *q, w, *runs)
+		if len(reps) > 0 {
+			first := reps[0]
+			if rep.TotalBits != first.TotalBits || rep.Partitions != first.Partitions || rep.Rounds != first.Rounds {
+				die(fmt.Errorf("workers=%d plan (%d bits, %d partitions, %d rounds) diverged from workers=%d (%d, %d, %d)",
+					rep.Workers, rep.TotalBits, rep.Partitions, rep.Rounds,
+					first.Workers, first.TotalBits, first.Partitions, first.Rounds))
+			}
+		}
+		reps = append(reps, rep)
+	}
+	if err := enc.Encode(reps); err != nil {
+		die(err)
+	}
+}
+
+// measure times `runs` complete partitioning runs of one configuration and
+// returns the report, with plan metrics and engine counters taken from the
+// first run.
+func measure(m *xmap.XMap, prof workload.Profile, strat core.Strategy, scale, mSize, q, workers, runs int) report {
 	rep := report{
-		Profile: prof.Name, Scale: *scale,
+		Profile: prof.Name, Scale: scale,
 		Patterns: m.Patterns(), Cells: m.Cells(), XCells: m.NumXCells(), TotalX: m.TotalX(),
-		Strategy: strat.String(), Workers: *workers, Runs: *runs,
+		Strategy: strat.String(), Workers: workers, Runs: runs,
 	}
 	best := time.Duration(0)
 	var total time.Duration
-	for i := 0; i < *runs; i++ {
+	for i := 0; i < runs; i++ {
 		rec := obs.New()
 		p := core.Params{
 			Geom:     prof.Geometry(),
-			Cancel:   xcancel.Config{MISR: misr.MustStandard(*mSize), Q: *q},
+			Cancel:   xcancel.Config{MISR: misr.MustStandard(mSize), Q: q},
 			Strategy: strat,
-			Workers:  *workers,
+			Workers:  workers,
 			Obs:      rec,
 		}
 		t0 := time.Now()
@@ -122,12 +167,8 @@ func main() {
 		}
 	}
 	rep.WallMsBest = float64(best) / float64(time.Millisecond)
-	rep.WallMsMean = float64(total) / float64(*runs) / float64(time.Millisecond)
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		die(err)
-	}
+	rep.WallMsMean = float64(total) / float64(runs) / float64(time.Millisecond)
+	return rep
 }
 
 func die(err error) {

@@ -11,6 +11,9 @@
 //	xhybrid verify    [-cells N] [-patterns K] [-m 16] [-q 3] [-seed S]
 //	                  # build a circuit, simulate it, program the hybrid and
 //	                  # replay the responses through the hardware models
+//	xhybrid convert   (-workload ckt-b | -in xmap.json) -out xmap.xmb
+//	                  # re-serialize an X map between the text, JSON and
+//	                  # binary wire formats (format by file extension)
 //
 // Observability (any subcommand):
 //
@@ -62,6 +65,7 @@ func main() {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cells := fs.Int("cells", 128, "verify: scan cells (multiple of the chain count 16)")
 	patterns := fs.Int("patterns", 96, "verify: test patterns")
+	outFile := fs.String("out", "-", "convert: output file; format by extension (.txt text, .xmb/.bin binary, else JSON), - for JSON on stdout")
 
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -89,6 +93,8 @@ func main() {
 			die(err)
 		}
 		reportMD(x, xhybrid.Options{MISRSize: *misrSize, Q: *q, Strategy: *strategy, Seed: *seed, Workers: *workers, Stats: rec})
+	case "convert":
+		convert(*workloadName, *inFile, *seed, *outFile)
 	default:
 		usage()
 	}
@@ -256,7 +262,7 @@ func verify(cells, patterns, m, q int, seed int64, workers int, rec *xhybrid.Sta
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xhybrid <analyze|partition|example|verify|report> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xhybrid <analyze|partition|example|verify|report|convert> [flags]")
 	exit(2)
 }
 
@@ -272,12 +278,50 @@ func load(workloadName, inFile string, seed int64) (*xhybrid.XLocations, error) 
 			return nil, err
 		}
 		defer f.Close()
-		if strings.HasSuffix(inFile, ".txt") {
+		switch {
+		case strings.HasSuffix(inFile, ".txt"):
 			return xhybrid.ReadXLocationsText(f)
+		case strings.HasSuffix(inFile, ".xmb") || strings.HasSuffix(inFile, ".bin"):
+			return xhybrid.ReadXLocationsBinary(f)
 		}
 		return xhybrid.ReadXLocations(f)
 	}
 	return nil, fmt.Errorf("need -workload <name> or -in <file>")
+}
+
+// convert re-serializes an X-location map between the three wire formats,
+// picking each side's format from its file extension (.txt text, .xmb/.bin
+// binary, anything else JSON). "-" writes to stdout as JSON.
+func convert(workloadName, inFile string, seed int64, outFile string) {
+	x, err := load(workloadName, inFile, seed)
+	if err != nil {
+		die(err)
+	}
+	var w *os.File
+	if outFile == "-" {
+		w = os.Stdout
+	} else {
+		w, err = os.Create(outFile)
+		if err != nil {
+			die(err)
+		}
+	}
+	switch {
+	case outFile == "-":
+		err = x.WriteJSON(w)
+	case strings.HasSuffix(outFile, ".txt"):
+		err = x.WriteText(w)
+	case strings.HasSuffix(outFile, ".xmb") || strings.HasSuffix(outFile, ".bin"):
+		err = x.WriteBinary(w)
+	default:
+		err = x.WriteJSON(w)
+	}
+	if err == nil && w != os.Stdout {
+		err = w.Close()
+	}
+	if err != nil {
+		die(err)
+	}
 }
 
 func analyze(x *xhybrid.XLocations) {

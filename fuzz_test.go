@@ -2,6 +2,7 @@ package xhybrid
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -68,6 +69,77 @@ func FuzzReadXLocationsJSON(f *testing.F) {
 		}
 		if y.TotalX() != x.TotalX() {
 			t.Fatal("round trip changed the map")
+		}
+	})
+}
+
+// FuzzReadXLocationsBinary exercises the binary wire decoder: no panic on
+// arbitrary bytes, and anything it accepts must re-encode canonically and
+// agree with the JSON form of the same map.
+func FuzzReadXLocationsBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := PaperExample().WriteBinary(&seed); err != nil {
+		f.Fatal(err)
+	}
+	full := seed.Bytes()
+	f.Add(append([]byte{}, full...))
+	// Truncated headers: mid-magic, magic without version, version without
+	// header fields, and a header cut mid-varint.
+	f.Add([]byte("XMA"))
+	f.Add([]byte("XMAPB"))
+	f.Add([]byte("XMAPB\x01"))
+	f.Add(append([]byte("XMAPB\x01"), 0x85))
+	f.Add(append([]byte{}, full[:len(full)-3]...))
+	// Varint overflow: ten 0xff continuation bytes exceed 64 bits.
+	f.Add(append([]byte("XMAPB\x01"), bytes.Repeat([]byte{0xff}, 10)...))
+	// Duplicate records: a cell gap of 0 repeats the previous cell, a
+	// pattern gap of 0 repeats the previous pattern.
+	dupCell := []byte("XMAPB\x01")
+	for _, v := range []uint64{2, 2, 4, 2, 1, 1, 0, 0, 1, 0} {
+		dupCell = binary.AppendUvarint(dupCell, v)
+	}
+	f.Add(dupCell)
+	dupPattern := []byte("XMAPB\x01")
+	for _, v := range []uint64{2, 2, 4, 1, 0, 2, 3, 0} {
+		dupPattern = binary.AppendUvarint(dupPattern, v)
+	}
+	f.Add(dupPattern)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		x, err := ReadXLocationsBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var bin bytes.Buffer
+		if err := x.WriteBinary(&bin); err != nil {
+			t.Fatalf("accepted input failed to serialize: %v", err)
+		}
+		y, err := ReadXLocationsBinary(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !y.m.Equal(x.m) || y.geom != x.geom {
+			t.Fatal("round trip changed the map")
+		}
+		// Canonical: re-encoding the round-tripped map is byte-stable even
+		// when the accepted input used non-minimal varints.
+		var again bytes.Buffer
+		if err := y.WriteBinary(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bin.Bytes(), again.Bytes()) {
+			t.Fatal("re-encoding is not canonical")
+		}
+		// Cross-format: the JSON round trip of the same map must agree.
+		var js bytes.Buffer
+		if err := x.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		z, err := ReadXLocations(&js)
+		if err != nil {
+			t.Fatalf("JSON round trip of accepted binary failed: %v", err)
+		}
+		if !z.m.Equal(x.m) {
+			t.Fatal("JSON and binary disagree")
 		}
 	})
 }

@@ -123,6 +123,33 @@ func BenchmarkRunGreedy(b *testing.B) {
 	}
 }
 
+// BenchmarkRunGreedyWorkers8 is BenchmarkRunGreedy with the hot loops
+// fanned out over 8 workers — the second CI regression gate, covering the
+// striped state interner and the once-guarded memos that the serial run
+// never contends on. Kept a separate top-level benchmark (not a sub-bench
+// of BenchmarkRunGreedy) so the benchstat comparison of either gate never
+// mixes samples.
+func BenchmarkRunGreedyWorkers8(b *testing.B) {
+	prof := workload.Scaled(workload.CKTB(), 4)
+	m, err := prof.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{
+		Geom:     prof.Geometry(),
+		Cancel:   xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+		Strategy: StrategyGreedyCost,
+		Workers:  8,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMaskedXIn(b *testing.B) {
 	prof := workload.Scaled(workload.CKTB(), 4)
 	m, err := prof.Generate()

@@ -264,15 +264,16 @@ type evaluator struct {
 	ctx  context.Context
 	done <-chan struct{}
 
-	// mu guards idx and states: candidate scoring interns partition states
-	// from pool goroutines. idx dedups partition bitsets by content
-	// (hashed, equality-verified) and states holds one partState per
-	// distinct bitset, indexed by the set's dense id. Nothing downstream
-	// depends on id assignment order, so concurrent interning cannot leak
-	// scheduling into the results.
-	mu     sync.Mutex
-	idx    *gf2.VecSet
-	states []*partState
+	// shards is the lock-striped state interner: candidate scoring interns
+	// partition states from pool goroutines, and a single mutex would
+	// serialize every probe of every worker through one lock. Instead the
+	// content hash picks one of stateShardCount stripes, each with its own
+	// VecSet and state list, so concurrent probes contend only when they
+	// hash to the same stripe. Ids are dense per stripe and assignment
+	// order varies with scheduling, but nothing downstream reads them —
+	// states are addressed by *partState, unique per content — so
+	// concurrent interning cannot leak scheduling into the results.
+	shards [stateShardCount]stateShard
 
 	// Cached observability handles (nil when params.Obs is nil, which
 	// makes every recording below a single-branch no-op).
@@ -291,20 +292,38 @@ type evaluator struct {
 	obsCheckpoints *obs.Counter
 }
 
+// stateShardBits sizes the interner's lock striping; 2^6 = 64 stripes keep
+// the collision probability of two concurrent probes low for any plausible
+// worker count while costing one small VecSet each.
+const (
+	stateShardBits  = 6
+	stateShardCount = 1 << stateShardBits
+)
+
+// stateShard is one stripe of the interner: a content-keyed VecSet plus the
+// partState per dense id, guarded by the stripe's own mutex.
+type stateShard struct {
+	mu     sync.Mutex
+	idx    *gf2.VecSet
+	states []*partState
+	// Pad each shard out to its own cache line so neighboring stripe locks
+	// don't false-share under concurrent scoring.
+	_ [64 - (8+8+24)%64]byte
+}
+
 // newEvaluator builds the run state; the caller must Close the evaluator's
 // pool when done.
 func newEvaluator(ctx context.Context, m *xmap.XMap, params Params) *evaluator {
 	// Force the X-map's lazy cell reindex at this serial point, before the
 	// pool fans XCells readers out over worker goroutines.
 	m.XCells()
-	return &evaluator{
+	e := &evaluator{
 		m:      m,
 		params: params,
 		totalX: m.TotalX(),
 		pool:   pool.New(params.workers()),
 		ctx:    ctx,
 		done:   ctx.Done(),
-		idx:    gf2.NewVecSet(),
 
 		obsRounds:      params.Obs.Counter("core.rounds"),
 		obsAccepted:    params.Obs.Counter("core.rounds.accepted"),
@@ -320,6 +339,10 @@ func newEvaluator(ctx context.Context, m *xmap.XMap, params Params) *evaluator {
 		obsIndexCells:  params.Obs.Counter("core.cellindex.cells.scanned"),
 		obsCheckpoints: params.Obs.Counter("core.checkpoints.emitted"),
 	}
+	for i := range e.shards {
+		e.shards[i].idx = gf2.NewVecSet()
+	}
+	return e
 }
 
 // close releases the pool and flushes the pool saturation stats.

@@ -300,7 +300,7 @@ func (e *evaluator) selectGreedy(live []*partState, masked, maskBits, cost int) 
 	})
 	var all []split
 	for i, st := range live {
-		if st.size < 2 || !st.candsOK {
+		if st.size < 2 || !st.candsReady.Load() {
 			continue
 		}
 		for _, cell := range st.cands {

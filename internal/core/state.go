@@ -41,64 +41,99 @@ type partState struct {
 	// least one in-partition X — the only cells any scan of this partition
 	// can care about — and counts holds each one's in-partition X count.
 	// Only committed partitions carry the index (candidate sides inherit
-	// their parent's as a scan hint instead); it is built at serial points,
-	// so no lock. cellsOK distinguishes a legitimately empty index from an
-	// unbuilt one.
-	cells   []int32
-	counts  []int32
-	cellsOK bool
+	// their parent's as a scan hint instead). Like the stats, the build is
+	// once-guarded so concurrent callers are safe: the first builds, the
+	// rest block on the Once; cellsReady is the acquire-ordered flag that
+	// lets readers skip the Once entirely (and distinguishes a legitimately
+	// empty index from an unbuilt one).
+	cellsOnce  sync.Once
+	cellsReady atomic.Bool
+	cells      []int32
+	counts     []int32
 
-	// groups memoizes the partition's equal-count candidate groups. Written
-	// only under the per-partition fan-out of groupsPerPartition (distinct
-	// states per index) with the pool's barrier ordering later reads.
-	groups   []correlation.Group
-	groupsOK bool
+	// groups memoizes the partition's equal-count candidate groups.
+	// Once-guarded like the stats: groupsPerPartition fans distinct states
+	// out per index, but nothing stops an external caller (or a future
+	// selector) from racing two lookups of one state, so the memo defends
+	// itself rather than leaning on the caller's fan-out shape.
+	groupsOnce  sync.Once
+	groupsReady atomic.Bool
+	groups      []correlation.Group
 
 	// cands memoizes the partition's gain-ranked greedy candidate cells
-	// (deduplicated by in-partition signature, capped). Same write
-	// discipline as groups. Partition indexes are assembled by the caller
-	// per round, so the cache stays valid as the live list shifts.
-	cands   []int
-	candsOK bool
+	// (deduplicated by in-partition signature, capped), once-guarded like
+	// groups. Partition indexes are assembled by the caller per round, so
+	// the cache stays valid as the live list shifts.
+	candsOnce  sync.Once
+	candsReady atomic.Bool
+	cands      []int
+}
+
+// shardFor picks the stripe a content hash lives in. The top hash bits
+// select, so stripe choice is independent of the low bits VecSet's bucket
+// map mixes on.
+func (e *evaluator) shardFor(h uint64) *stateShard {
+	return &e.shards[h>>(64-stateShardBits)]
 }
 
 // stateFor interns v and returns its state. The set keeps v itself; the
-// caller must not mutate it afterwards.
+// caller must not mutate it afterwards. The content hash is computed once,
+// outside the lock, and reused for both the stripe choice and the set probe.
 func (e *evaluator) stateFor(v gf2.Vec) *partState {
-	e.mu.Lock()
-	id, existed := e.idx.Add(v)
-	return e.internLocked(id, existed)
+	h := v.Hash()
+	sh := e.shardFor(h)
+	sh.mu.Lock()
+	id, existed := sh.idx.AddWithHash(h, v)
+	return e.internLocked(sh, id, existed)
 }
 
-// stateAnd interns (a & b) without materializing it on a cache hit.
-func (e *evaluator) stateAnd(a, b gf2.Vec) *partState {
-	e.mu.Lock()
-	id, existed := e.idx.AddAnd(a, b)
-	return e.internLocked(id, existed)
+// stateAnd interns (a & b) without materializing it on a cache hit. h must
+// be a.HashAnd(b) (or the matching half of a.HashPair(b)).
+func (e *evaluator) stateAnd(h uint64, a, b gf2.Vec) *partState {
+	sh := e.shardFor(h)
+	sh.mu.Lock()
+	id, existed := sh.idx.AddAndWithHash(h, a, b)
+	return e.internLocked(sh, id, existed)
 }
 
 // stateAndNot interns (a &^ b) without materializing it on a cache hit.
-func (e *evaluator) stateAndNot(a, b gf2.Vec) *partState {
-	e.mu.Lock()
-	id, existed := e.idx.AddAndNot(a, b)
-	return e.internLocked(id, existed)
+// h must be a.HashAndNot(b).
+func (e *evaluator) stateAndNot(h uint64, a, b gf2.Vec) *partState {
+	sh := e.shardFor(h)
+	sh.mu.Lock()
+	id, existed := sh.idx.AddAndNotWithHash(h, a, b)
+	return e.internLocked(sh, id, existed)
 }
 
-// internLocked finishes a state lookup. It must be entered with e.mu held
+// internLocked finishes a state lookup. It must be entered with sh.mu held
 // and releases it.
-func (e *evaluator) internLocked(id int, existed bool) *partState {
+func (e *evaluator) internLocked(sh *stateShard, id int, existed bool) *partState {
 	if existed {
-		st := e.states[id]
-		e.mu.Unlock()
+		st := sh.states[id]
+		sh.mu.Unlock()
 		e.obsStateHits.Inc()
 		return st
 	}
-	part := e.idx.Vec(id)
+	part := sh.idx.Vec(id)
 	st := &partState{part: part, size: part.PopCount()}
-	e.states = append(e.states, st)
-	e.mu.Unlock()
+	sh.states = append(sh.states, st)
+	sh.mu.Unlock()
 	e.obsStateMisses.Inc()
 	return st
+}
+
+// internedStates returns every state across the stripes (unordered) — the
+// consistency surface the concurrent-interning stress test audits against
+// the core.state.cache.* counters.
+func (e *evaluator) internedStates() []*partState {
+	var out []*partState
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.states...)
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // ensureStats computes the partition's maskedX and maskCells in a single
@@ -117,7 +152,7 @@ func (st *partState) ensureStats(e *evaluator, hint []int32) {
 		if st.size == 0 {
 			return
 		}
-		if st.cellsOK {
+		if st.cellsReady.Load() {
 			for _, n := range st.counts {
 				if int(n) == st.size {
 					st.maskedX += st.size
@@ -160,37 +195,47 @@ func (st *partState) ensureStats(e *evaluator, hint []int32) {
 
 // ensureCells builds the partition-local slot index with per-cell counts,
 // narrowing the parent's when available (a sub-partition can only intersect
-// cells its parent does). Call only at serial points or under a per-state
-// fan-out.
+// cells its parent does). Safe for concurrent callers: the first one in
+// builds (its parent hint wins; any hint yields the identical index, a hint
+// only shrinks the scan), later ones block on the Once until the index is
+// ready.
 func (st *partState) ensureCells(e *evaluator, parent *partState) {
-	if st.cellsOK {
+	if st.cellsReady.Load() {
 		return
 	}
-	var within []int32
-	if parent != nil && parent.cellsOK {
-		within = parent.cells
-	}
-	n := len(within)
-	if within == nil {
-		n = e.m.NumXCells()
-	}
-	e.obsIndexBuilds.Inc()
-	e.obsIndexCells.Add(int64(n))
-	st.cells, st.counts = e.m.IntersectingSlotCounts(st.part, within)
-	st.cellsOK = true
+	st.cellsOnce.Do(func() {
+		var within []int32
+		if parent != nil && parent.cellsReady.Load() {
+			within = parent.cells
+		}
+		n := len(within)
+		if within == nil {
+			n = e.m.NumXCells()
+		}
+		e.obsIndexBuilds.Inc()
+		e.obsIndexCells.Add(int64(n))
+		st.cells, st.counts = e.m.IntersectingSlotCounts(st.part, within)
+		st.cellsReady.Store(true)
+	})
 }
 
 // ensureGroups memoizes the partition's equal-count groups, scanning only
-// its local slot index.
+// its local slot index. Concurrent lookups of one state are safe: the memo
+// fills through the Once, and a caller that raced the fill returns the
+// finished slice without counting a hit or a miss (the hit/miss counters
+// track fast-path lookups and distinct computations; misses always equal
+// the number of states that ever computed groups).
 func (st *partState) ensureGroups(e *evaluator) []correlation.Group {
-	if st.groupsOK {
+	if st.groupsReady.Load() {
 		e.obsGroupHits.Inc()
 		return st.groups
 	}
-	e.obsGroupMisses.Inc()
-	st.ensureCells(e, nil)
-	st.groups = correlation.GroupsWithinCells(e.ctx, e.m, st.part, st.cells, e.pool, e.params.Obs)
-	st.groupsOK = true
+	st.groupsOnce.Do(func() {
+		e.obsGroupMisses.Inc()
+		st.ensureCells(e, nil)
+		st.groups = correlation.GroupsWithinCells(e.ctx, e.m, st.part, st.cells, e.pool, e.params.Obs)
+		st.groupsReady.Store(true)
+	})
 	return st.groups
 }
 
@@ -202,62 +247,70 @@ func (st *partState) ensureGroups(e *evaluator) []correlation.Group {
 // and capped at limit. sort.Slice on an identical input sequence is
 // deterministic, so the ranking matches the pre-incremental engine's.
 func (st *partState) ensureCands(e *evaluator, limit int) {
-	if st.candsOK {
+	if st.candsReady.Load() {
 		return
 	}
-	st.ensureCells(e, nil)
-	cells := e.m.XCells()
-	type cand struct {
-		cell int
-		gain int
-	}
-	sigs := gf2.NewVecSet()
-	var cands []cand
-	for k, slot := range st.cells {
-		if k&cancelCheckMask == 0 && e.canceled() {
-			return
+	st.candsOnce.Do(func() {
+		st.ensureCells(e, nil)
+		cells := e.m.XCells()
+		type cand struct {
+			cell int
+			gain int
 		}
-		c := cells[slot]
-		n := int(st.counts[k])
-		if n >= st.size {
-			// Fully-X cells can't split; the index guarantees n > 0.
-			continue
+		sigs := gf2.NewVecSet()
+		var cands []cand
+		for k, slot := range st.cells {
+			if k&cancelCheckMask == 0 && e.canceled() {
+				// Leave the memo unfilled (candsReady stays false, so the
+				// selector skips this state); the run is aborting anyway.
+				return
+			}
+			c := cells[slot]
+			n := int(st.counts[k])
+			if n >= st.size {
+				// Fully-X cells can't split; the index guarantees n > 0.
+				continue
+			}
+			id, existed := sigs.AddAnd(c.Patterns, st.part)
+			if existed {
+				cands[id].gain += n
+				continue
+			}
+			cands = append(cands, cand{cell: c.Cell, gain: n})
 		}
-		id, existed := sigs.AddAnd(c.Patterns, st.part)
-		if existed {
-			cands[id].gain += n
-			continue
+		sort.Slice(cands, func(a, b int) bool { return cands[a].gain > cands[b].gain })
+		if len(cands) > limit {
+			cands = cands[:limit]
 		}
-		cands = append(cands, cand{cell: c.Cell, gain: n})
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].gain > cands[b].gain })
-	if len(cands) > limit {
-		cands = cands[:limit]
-	}
-	st.cands = make([]int, len(cands))
-	for i, ca := range cands {
-		st.cands[i] = ca.cell
-	}
-	st.candsOK = true
+		st.cands = make([]int, len(cands))
+		for i, ca := range cands {
+			st.cands[i] = ca.cell
+		}
+		st.candsReady.Store(true)
+	})
 }
 
 // splitStates interns the two sides of splitting parent on cell and fills
-// their stats. When both sides are fresh, one pair scan over the parent's
-// cell index prices them together; on a cache hit neither side's bitset is
-// even materialized and no scan runs at all.
+// their stats. Both sides' content hashes come from one fused word scan
+// (gf2.Vec.HashPair), so a cache hit costs a single pass over the parent
+// and cell bitsets where two probes used to scan twice. When both sides
+// are fresh, one pair scan over the parent's cell index prices them
+// together; on a cache hit neither side's bitset is even materialized and
+// no scan runs at all.
 func (e *evaluator) splitStates(parent *partState, cell int) (xs, rs *partState) {
 	cellBits, ok := e.m.CellPatterns(cell)
 	if !ok {
 		panic(fmt.Sprintf("core: split cell %d captures no X", cell))
 	}
-	xs = e.stateAnd(parent.part, cellBits)
-	rs = e.stateAndNot(parent.part, cellBits)
-	if parent.cellsOK && xs.size > 0 && rs.size > 0 &&
+	hAnd, hAndNot := parent.part.HashPair(cellBits)
+	xs = e.stateAnd(hAnd, parent.part, cellBits)
+	rs = e.stateAndNot(hAndNot, parent.part, cellBits)
+	if parent.cellsReady.Load() && xs.size > 0 && rs.size > 0 &&
 		!xs.statsReady.Load() && !rs.statsReady.Load() {
 		e.scanPair(parent, xs, rs)
 	}
 	var hint []int32
-	if parent.cellsOK {
+	if parent.cellsReady.Load() {
 		hint = parent.cells
 	}
 	xs.ensureStats(e, hint)

@@ -165,6 +165,30 @@ func (v Vec) PopCountAnd(u Vec) int {
 	return c
 }
 
+// PopCountAndNot returns popcount(v &^ u) without allocating.
+// The vectors must have equal length.
+func (v Vec) PopCountAndNot(u Vec) int {
+	v.checkLen(u)
+	c := 0
+	for i, w := range u.words {
+		c += bits.OnesCount64(v.words[i] &^ w)
+	}
+	return c
+}
+
+// PopCountPair returns popcount(v & u) and popcount(v &^ u) in one pass
+// over the words — both sides of a split costed with one memory touch per
+// word instead of two scans. The vectors must have equal length.
+func (v Vec) PopCountPair(u Vec) (and, andNot int) {
+	v.checkLen(u)
+	for i, w := range u.words {
+		vw := v.words[i]
+		and += bits.OnesCount64(vw & w)
+		andNot += bits.OnesCount64(vw &^ w)
+	}
+	return and, andNot
+}
+
 // IsZero reports whether every bit is 0.
 func (v Vec) IsZero() bool {
 	for _, w := range v.words {
@@ -193,6 +217,28 @@ func (v Vec) Clone() Vec {
 	c := Vec{words: make([]uint64, len(v.words)), n: v.n}
 	copy(c.words, v.words)
 	return c
+}
+
+// AndOf materializes (a & b) in a single pass — no Clone-then-And double
+// walk over the words. The vectors must have equal length.
+func AndOf(a, b Vec) Vec {
+	a.checkLen(b)
+	v := Vec{words: make([]uint64, len(a.words)), n: a.n}
+	for i, w := range b.words {
+		v.words[i] = a.words[i] & w
+	}
+	return v
+}
+
+// AndNotOf materializes (a &^ b) in a single pass. The vectors must have
+// equal length.
+func AndNotOf(a, b Vec) Vec {
+	a.checkLen(b)
+	v := Vec{words: make([]uint64, len(a.words)), n: a.n}
+	for i, w := range b.words {
+		v.words[i] = a.words[i] &^ w
+	}
+	return v
 }
 
 // CopyFrom copies u's bits into v. The vectors must have equal length.
@@ -315,6 +361,22 @@ func (v Vec) HashAndNot(u Vec) uint64 {
 		h = hashMix(h ^ (v.words[i] &^ w))
 	}
 	return h
+}
+
+// HashPair returns HashAnd(v, u) and HashAndNot(v, u) from one fused pass:
+// both derived words come from the same two source words, so computing the
+// two hashes together touches memory once instead of twice. Used by the
+// split-state interner, which always probes for both sides of a split.
+func (v Vec) HashPair(u Vec) (hAnd, hAndNot uint64) {
+	v.checkLen(u)
+	hAnd = hashMix(uint64(v.n) ^ hashSeed)
+	hAndNot = hAnd
+	for i, w := range u.words {
+		vw := v.words[i]
+		hAnd = hashMix(hAnd ^ (vw & w))
+		hAndNot = hashMix(hAndNot ^ (vw &^ w))
+	}
+	return hAnd, hAndNot
 }
 
 // EqualAnd reports whether v == (a & b) without materializing the

@@ -43,7 +43,15 @@ func (s *VecSet) Vec(id int) Vec { return s.vecs[id] }
 // equal vector was already present. The set stores v itself (no clone); the
 // caller must not mutate it afterwards.
 func (s *VecSet) Add(v Vec) (id int, existed bool) {
-	h := s.hash(v)
+	return s.AddWithHash(s.hash(v), v)
+}
+
+// AddWithHash is Add with the content hash already in hand — callers that
+// also use the hash to pick a lock stripe (internal/core's sharded state
+// interner) pay for one hash pass instead of two. h must equal what the
+// set's hash function would return for v; a mismatched hash silently
+// duplicates entries.
+func (s *VecSet) AddWithHash(h uint64, v Vec) (id int, existed bool) {
 	for _, j := range s.buckets[h] {
 		if s.vecs[j].Equal(v) {
 			return j, true
@@ -55,29 +63,35 @@ func (s *VecSet) Add(v Vec) (id int, existed bool) {
 // AddAnd inserts (a & b), materializing the intersection only when it is
 // not already present, and returns its dense id.
 func (s *VecSet) AddAnd(a, b Vec) (id int, existed bool) {
-	h := s.hashAnd(a, b)
+	return s.AddAndWithHash(s.hashAnd(a, b), a, b)
+}
+
+// AddAndWithHash is AddAnd with the derived vector's hash precomputed
+// (e.g. one side of Vec.HashPair). Same contract as AddWithHash.
+func (s *VecSet) AddAndWithHash(h uint64, a, b Vec) (id int, existed bool) {
 	for _, j := range s.buckets[h] {
 		if s.vecs[j].EqualAnd(a, b) {
 			return j, true
 		}
 	}
-	v := a.Clone()
-	v.And(b)
-	return s.insert(h, v), false
+	return s.insert(h, AndOf(a, b)), false
 }
 
 // AddAndNot inserts (a &^ b), materializing the difference only when it is
 // not already present, and returns its dense id.
 func (s *VecSet) AddAndNot(a, b Vec) (id int, existed bool) {
-	h := s.hashAndNot(a, b)
+	return s.AddAndNotWithHash(s.hashAndNot(a, b), a, b)
+}
+
+// AddAndNotWithHash is AddAndNot with the derived vector's hash
+// precomputed. Same contract as AddWithHash.
+func (s *VecSet) AddAndNotWithHash(h uint64, a, b Vec) (id int, existed bool) {
 	for _, j := range s.buckets[h] {
 		if s.vecs[j].EqualAndNot(a, b) {
 			return j, true
 		}
 	}
-	v := a.Clone()
-	v.AndNot(b)
-	return s.insert(h, v), false
+	return s.insert(h, AndNotOf(a, b)), false
 }
 
 func (s *VecSet) insert(h uint64, v Vec) int {

@@ -12,16 +12,19 @@ import (
 )
 
 // planDigest returns the cache key for one (X-map, options) pair: a sha256
-// over the canonical JSON serialization of the X-location map (cells and
-// pattern indices ascending, so logically equal maps digest equally
-// regardless of insertion order or input format) followed by every
-// plan-shaping option. Options.Workers and Options.Stats are excluded on
-// purpose: the engine is byte-identical for any worker count, and the
-// recorder never shapes the plan, so requests differing only there share a
-// cache entry.
+// over the canonical binary serialization of the decoded in-memory map
+// (records and pattern gaps ascending, so logically equal maps digest
+// equally regardless of insertion order or which wire format — text, JSON
+// or binary — the request arrived in) followed by every plan-shaping
+// option. The key used to hash the canonical JSON encoding instead, which
+// meant every request paid a full JSON re-encode of the map just to probe
+// the cache; the binary encoding is the same digest semantics at a fraction
+// of the cost. Options.Workers and Options.Stats are excluded on purpose:
+// the engine is byte-identical for any worker count, and the recorder never
+// shapes the plan, so requests differing only there share a cache entry.
 func planDigest(x *xhybrid.XLocations, opt xhybrid.Options) (string, error) {
 	h := sha256.New()
-	if err := x.WriteJSON(h); err != nil {
+	if err := x.WriteBinary(h); err != nil {
 		return "", err
 	}
 	fmt.Fprintf(h, "m=%d;q=%d;strategy=%s;seed=%d;maxRounds=%d",

@@ -87,7 +87,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	x, err := readXMap(r)
+	x, err := readXMap(r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		s.badReq.Inc()
 		s.errorJSON(w, bodyErrStatus(err), err)

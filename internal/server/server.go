@@ -1,10 +1,13 @@
 package server
 
 import (
+	"bufio"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net"
 	"net/http"
@@ -242,36 +245,101 @@ func (s *Server) clampWorkers(requested int) int {
 	return requested
 }
 
-// readXMap parses the request body as an X-location map: the text format
-// when the input=text parameter or a text/* Content-Type says so, the JSON
-// format otherwise. Content-Type matching follows RFC 9110 — the media
-// type is case-insensitive and parameters (charset=...) are ignored — so
-// "Text/Plain; charset=utf-8" selects the text parser just like
-// "text/plain".
-func readXMap(r *http.Request) (*xhybrid.XLocations, error) {
-	asText := r.URL.Query().Get("input") == "text"
-	if !asText {
+// Body-read sentinels with their own HTTP statuses (see bodyErrStatus).
+var (
+	errUnsupportedEncoding = errors.New("server: unsupported Content-Encoding (use gzip or identity)")
+	errDecompressedTooBig  = errors.New("server: decompressed body exceeds the size limit")
+)
+
+// inflateLimit bounds a decompressed stream: MaxBytesReader only sees the
+// wire bytes, and gzip expands up to ~1000x, so the same MaxBodyBytes limit
+// is re-applied to what comes out of the decompressor.
+type inflateLimit struct {
+	r io.Reader
+	n int64 // bytes still allowed; 1 spare so an exactly-at-limit stream can EOF
+}
+
+func (l *inflateLimit) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		return 0, errDecompressedTooBig
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+// readXMap parses the request body as an X-location map in any of the three
+// wire formats, optionally gzip-compressed (Content-Encoding: gzip). The
+// format comes from the input= parameter (json, text or binary) when given;
+// otherwise a text/* Content-Type selects the text parser and
+// application/octet-stream the binary one (RFC 9110 matching: media type
+// case-insensitive, parameters ignored); otherwise the body is sniffed — a
+// leading "XMAPB" magic means binary, anything else JSON.
+func readXMap(r *http.Request, maxBody int64) (*xhybrid.XLocations, error) {
+	body := io.Reader(r.Body)
+	switch enc := strings.ToLower(strings.TrimSpace(r.Header.Get("Content-Encoding"))); enc {
+	case "", "identity":
+	case "gzip", "x-gzip":
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return nil, fmt.Errorf("server: gzip body: %w", err)
+		}
+		defer zr.Close()
+		body = &inflateLimit{r: zr, n: maxBody + 1}
+	default:
+		return nil, fmt.Errorf("%w: %q", errUnsupportedEncoding, enc)
+	}
+	br := bufio.NewReader(body)
+	format := r.URL.Query().Get("input")
+	if format == "" {
 		if ct := r.Header.Get("Content-Type"); ct != "" {
 			if mt, _, err := mime.ParseMediaType(ct); err == nil {
-				asText = strings.HasPrefix(mt, "text/")
+				switch {
+				case strings.HasPrefix(mt, "text/"):
+					format = "text"
+				case mt == "application/octet-stream":
+					format = "binary"
+				}
 			}
 		}
 	}
-	if asText {
-		return xhybrid.ReadXLocationsText(r.Body)
+	if format == "" {
+		if peek, err := br.Peek(len(binaryMagic)); err == nil && string(peek) == binaryMagic {
+			format = "binary"
+		}
 	}
-	return xhybrid.ReadXLocations(r.Body)
+	switch format {
+	case "text":
+		return xhybrid.ReadXLocationsText(br)
+	case "binary", "bin":
+		return xhybrid.ReadXLocationsBinary(br)
+	case "", "json":
+		return xhybrid.ReadXLocations(br)
+	default:
+		return nil, fmt.Errorf("server: bad input=%q (want json, text or binary)", format)
+	}
 }
 
+// binaryMagic mirrors the binary wire format's leading magic (binio.go);
+// only the sniffer needs it.
+const binaryMagic = "XMAPB"
+
 // bodyErrStatus classifies an X-map read failure: a body over the
-// MaxBytesReader limit is 413 (the input was never seen whole), anything
+// MaxBytesReader limit — before or after decompression — is 413 (the input
+// was never seen whole), an unsupported Content-Encoding is 415, anything
 // else is a 400 parse error. Every body-reading endpoint must route read
 // errors through this — /v1/analyze once skipped the MaxBytesError check
 // and mislabeled oversized bodies as 400 parse failures.
 func bodyErrStatus(err error) int {
 	var tooBig *http.MaxBytesError
-	if errors.As(err, &tooBig) {
+	switch {
+	case errors.As(err, &tooBig), errors.Is(err, errDecompressedTooBig):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, errUnsupportedEncoding):
+		return http.StatusUnsupportedMediaType
 	}
 	return http.StatusBadRequest
 }
@@ -316,7 +384,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	x, err := readXMap(r)
+	x, err := readXMap(r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		s.badReq.Inc()
 		s.errorJSON(w, bodyErrStatus(err), err)
@@ -415,7 +483,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	x, err := readXMap(r)
+	x, err := readXMap(r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		s.badReq.Inc()
 		s.errorJSON(w, bodyErrStatus(err), err)

@@ -115,6 +115,31 @@ func (m *XMap) appendCell(cell int) int {
 	return i
 }
 
+// SetCellPatterns installs the complete pattern bitset of one cell in a
+// single step, taking ownership of v (the caller must not mutate it
+// afterwards). This is the bulk-load path of the binary wire decoder: one
+// append per cell instead of one slot-map probe per X, and an
+// ascending-cell caller (the decoder enforces ascending records) never
+// marks the map unsorted, so no sort is ever paid. The cell must not
+// already be present — per-X accumulation belongs to Add.
+func (m *XMap) SetCellPatterns(cell int, v gf2.Vec) {
+	if cell < 0 || cell >= m.numCells {
+		panic(fmt.Sprintf("xmap: cell %d out of range [0,%d)", cell, m.numCells))
+	}
+	if v.Len() != m.numPatterns {
+		panic(fmt.Sprintf("xmap: bitset width %d, want %d patterns", v.Len(), m.numPatterns))
+	}
+	if _, ok := m.slot[cell]; ok {
+		panic(fmt.Sprintf("xmap: cell %d already present", cell))
+	}
+	i := len(m.cells)
+	m.cells = append(m.cells, CellX{Cell: cell, Patterns: v})
+	m.slot[cell] = i
+	if i > 0 && m.cells[i-1].Cell > cell {
+		m.unsorted.Store(true)
+	}
+}
+
 // ensureSorted restores ascending cell order after out-of-order Adds. It
 // mutates cells and slot, so it is double-check locked: readers that
 // arrive while the map is still unsorted serialize on sortMu (the first

@@ -334,3 +334,43 @@ func TestIntersectingSlots(t *testing.T) {
 		t.Fatalf("empty partition intersects %v", empty)
 	}
 }
+
+// SetCellPatterns must be indistinguishable from per-X Add accumulation,
+// keep the slot map valid, and reject misuse.
+func TestSetCellPatterns(t *testing.T) {
+	byAdd := New(8, 12)
+	byBulk := New(8, 12)
+	install := map[int][]int{3: {1, 5, 7}, 0: {0}, 11: {2, 3, 4}}
+	for cell, ps := range install {
+		v := gf2.NewVec(8)
+		for _, p := range ps {
+			byAdd.Add(p, cell)
+			v.Set(p)
+		}
+		byBulk.SetCellPatterns(cell, v)
+	}
+	if !byAdd.Equal(byBulk) {
+		t.Fatal("bulk install diverged from per-X Add")
+	}
+	for cell, ps := range install {
+		for _, p := range ps {
+			if !byBulk.Has(p, cell) {
+				t.Fatalf("missing X at p=%d cell=%d", p, cell)
+			}
+		}
+	}
+	for name, fn := range map[string]func(){
+		"cell out of range":  func() { byBulk.SetCellPatterns(12, gf2.NewVec(8)) },
+		"width mismatch":     func() { byBulk.SetCellPatterns(5, gf2.NewVec(9)) },
+		"cell already there": func() { byBulk.SetCellPatterns(3, gf2.NewVec(8)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
