@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	xhybridd [-addr :8471] [-cache 128] [-queue 64] [-concurrency N]
-//	         [-job-workers N] [-job-timeout 60s] [-drain 30s]
-//	         [-spool DIR] [-checkpoint-every K]
+//	xhybridd [-addr :8471] [-cache-bytes N] [-cache-dir DIR]
+//	         [-cache-disk-bytes N] [-tenants FILE] [-queue 64]
+//	         [-concurrency N] [-job-workers N] [-job-timeout 60s]
+//	         [-drain 30s] [-spool DIR] [-checkpoint-every K]
 //
 // Endpoints:
 //
@@ -22,6 +23,15 @@
 //	                     rounds, splits scored, stage spans, ...).
 //	GET  /debug/pprof/   live profiling of the serving process.
 //
+// With -tenants FILE the server enforces per-tenant API keys: requests
+// must carry `Authorization: Bearer <key>` (or X-API-Key), job slots are
+// granted by weighted fair scheduling across tenants, and each tenant's
+// concurrency/wait quotas apply. Without the flag the server stays open.
+//
+// With -cache-dir DIR computed plans also persist to a content-addressed
+// disk store (up to -cache-disk-bytes), so a restarted daemon serves
+// previously computed plans from disk with zero recompute.
+//
 // With -spool DIR the async jobs API comes up as well: submissions are
 // spooled to DIR, checkpoint every -checkpoint-every accepted rounds, and
 // survive restarts — on startup every unfinished spooled job resumes from
@@ -32,6 +42,7 @@
 //	GET    /v1/jobs             list spooled jobs.
 //	GET    /v1/jobs/{id}        status with live per-round progress.
 //	GET    /v1/jobs/{id}/result finished plan (format=json|text).
+//	GET    /v1/jobs/{id}/events live progress stream (Server-Sent Events).
 //	DELETE /v1/jobs/{id}        cancel.
 //
 // SIGINT/SIGTERM trigger graceful shutdown: the listener closes and
@@ -57,7 +68,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8471", "listen address")
-	cache := flag.Int("cache", 128, "LRU result-cache capacity in plans (negative disables)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "in-memory result-cache budget in bytes (negative disables)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty disables)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", 1<<30, "persistent result-cache budget in bytes")
+	tenantsFile := flag.String("tenants", "", "tenant API-key file (empty leaves the server open)")
 	queue := flag.Int("queue", 64, "max requests waiting for a job slot")
 	concurrency := flag.Int("concurrency", 0, "max partition jobs computing at once (0 = all CPUs)")
 	jobWorkers := flag.Int("job-workers", 0, "worker-goroutine ceiling per job (0 = all CPUs)")
@@ -69,6 +83,16 @@ func main() {
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "xhybridd: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
+	}
+
+	var tenants []server.Tenant
+	if *tenantsFile != "" {
+		var err error
+		tenants, err = server.LoadTenants(*tenantsFile)
+		if err != nil {
+			log.Fatalf("xhybridd: %v", err)
+		}
+		log.Printf("xhybridd: %d tenants loaded from %s", len(tenants), *tenantsFile)
 	}
 
 	rec := obs.New()
@@ -87,8 +111,11 @@ func main() {
 		log.Printf("xhybridd: job spool at %s (checkpoint every %d rounds)", *spool, *checkpointEvery)
 	}
 
-	srv := server.New(server.Config{
-		CacheSize:        *cache,
+	srv, err := server.New(server.Config{
+		CacheBytes:       *cacheBytes,
+		CacheDir:         *cacheDir,
+		CacheDiskBytes:   *cacheDiskBytes,
+		Tenants:          tenants,
 		MaxConcurrent:    *concurrency,
 		MaxQueue:         *queue,
 		MaxWorkersPerJob: *jobWorkers,
@@ -97,13 +124,19 @@ func main() {
 		Jobs:             mgr,
 		Obs:              rec,
 	})
+	if err != nil {
+		log.Fatalf("xhybridd: %v", err)
+	}
+	if *cacheDir != "" {
+		log.Printf("xhybridd: persistent result cache at %s (budget %d bytes)", *cacheDir, *cacheDiskBytes)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("xhybridd: listening on %s (cache=%d queue=%d concurrency=%d)",
-		*addr, *cache, *queue, effective(*concurrency))
-	err := srv.ListenAndServe(ctx, *addr)
+	log.Printf("xhybridd: listening on %s (cache-bytes=%d queue=%d concurrency=%d)",
+		*addr, *cacheBytes, *queue, effective(*concurrency))
+	err = srv.ListenAndServe(ctx, *addr)
 	if mgr != nil {
 		// Interrupt async jobs resumably: spooled state stays non-terminal
 		// and the next start recovers every unfinished job.

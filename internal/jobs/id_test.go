@@ -1,0 +1,52 @@
+package jobs
+
+import (
+	"testing"
+)
+
+// TestNewIDWidthAndUniqueness pins the job-id contract on both paths: the
+// documented width is exactly 16 lowercase hex digits, and ids never
+// repeat. The fallback path (crypto/rand dead) used to violate both — it
+// emitted 17 chars ("t" + %015x of the nanosecond clock) and collided
+// whenever two submissions landed in the same nanosecond, which a tight
+// submit loop on a coarse-clock platform does reliably.
+func TestNewIDWidthAndUniqueness(t *testing.T) {
+	isHex16 := func(id string) bool {
+		if len(id) != 16 {
+			return false
+		}
+		for _, c := range id {
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				return false
+			}
+		}
+		return true
+	}
+
+	seen := make(map[string]bool)
+	for i := 0; i < 4096; i++ {
+		id := newID()
+		if !isHex16(id) {
+			t.Fatalf("newID() = %q, want 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("newID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+
+	// The fallback must honor the same contract even when every call lands
+	// in the same nanosecond (the counter, not the clock, provides the
+	// uniqueness). 4096 stays well under the 16-bit counter wrap.
+	seen = make(map[string]bool)
+	for i := 0; i < 4096; i++ {
+		id := fallbackID()
+		if !isHex16(id) {
+			t.Fatalf("fallbackID() = %q, want 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("fallbackID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -253,6 +254,13 @@ func (m *Manager) Store() *Store { return m.store }
 
 // Submit spools a new job and enqueues it, returning its metadata.
 func (m *Manager) Submit(ctx context.Context, x *xhybrid.XLocations, opts Options) (Meta, error) {
+	return m.SubmitTenant(ctx, x, opts, "")
+}
+
+// SubmitTenant is Submit with tenant attribution: the id is recorded on
+// the durable job record (and reported in every status) so operators can
+// tell whose job a spool entry is after a restart.
+func (m *Manager) SubmitTenant(ctx context.Context, x *xhybrid.XLocations, opts Options, tenant string) (Meta, error) {
 	norm, err := opts.normalize(m.cfg.CheckpointEvery)
 	if err != nil {
 		return Meta{}, err
@@ -262,6 +270,7 @@ func (m *Manager) Submit(ctx context.Context, x *xhybrid.XLocations, opts Option
 		State:   StateSubmitted,
 		Options: norm,
 		Created: time.Now().UTC(),
+		Tenant:  tenant,
 	}
 	if err := m.store.CreateJob(ctx, meta, x); err != nil {
 		return Meta{}, err
@@ -525,12 +534,30 @@ func (m *Manager) Stop() {
 	m.wg.Wait()
 }
 
-// newID returns a 16-hex-digit random job id.
+// idSeq feeds the fallback id path so two ids minted in the same
+// nanosecond still differ.
+var idSeq atomic.Uint64
+
+// newID returns a 16-hex-digit random job id. The fallback (crypto/rand
+// failing means a badly broken platform, but ids must still work) mixes the
+// clock with the pid and a process-local counter and formats to the same
+// fixed 16-hex-char width as the random path — an earlier version emitted
+// 17 chars ("t" + %015x) and collided for same-nanosecond submissions
+// (TestNewIDWidthAndUniqueness).
 func newID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is a broken platform; fall back to time.
-		return fmt.Sprintf("t%015x", time.Now().UnixNano())
+		return fallbackID()
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// fallbackID mints ids without entropy: low clock bits, a pid byte, a
+// 16-bit counter. Split out of newID so the width and same-nanosecond
+// uniqueness invariants are testable without breaking crypto/rand.
+func fallbackID() string {
+	v := uint64(time.Now().UnixNano())<<24 |
+		uint64(os.Getpid()&0xff)<<16 |
+		(idSeq.Add(1) & 0xffff)
+	return fmt.Sprintf("%016x", v)
 }

@@ -32,38 +32,58 @@ func planDigest(x *xhybrid.XLocations, opt xhybrid.Options) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// resultCache is a mutex-guarded LRU of computed plans. Entries are shared
-// across requests and must be treated as immutable by every reader — the
-// handlers only serialize them.
+// planCost approximates a plan's resident size in bytes from its shape:
+// a fixed overhead for the scalar accounting plus the per-partition index
+// slices (8 bytes per pattern/cell index) and the round trace. The cache
+// budget is enforced against this estimate, so a handful of 100k-cell
+// plans weigh in at megabytes each instead of counting the same as a
+// 20-cell toy plan — the old plan-counted LRU let giant entries pin
+// unbounded memory while tiny ones evicted each other.
+func planCost(p *xhybrid.Plan) int64 {
+	cost := int64(640) // struct scalars + slice headers + key bookkeeping
+	for i := range p.Partitions {
+		cost += 64 + 8*int64(len(p.Partitions[i].Patterns)+len(p.Partitions[i].MaskedCells))
+	}
+	cost += 96 * int64(len(p.Rounds))
+	return cost
+}
+
+// resultCache is a mutex-guarded, byte-weighted LRU of computed plans.
+// Entries are shared across requests and must be treated as immutable by
+// every reader — the handlers only serialize them.
 type resultCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
 
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
 	entries   *obs.Counter
+	sizeGauge *obs.Counter
 }
 
 type cacheEntry struct {
 	key  string
 	plan *xhybrid.Plan
+	cost int64
 }
 
-// newResultCache returns an LRU holding up to capacity plans; capacity <= 0
-// disables caching (every lookup misses, every store is dropped), which
-// keeps the handler logic branch-free.
-func newResultCache(capacity int, rec *obs.Recorder) *resultCache {
+// newResultCache returns an LRU holding up to maxBytes of plans (weighted
+// by planCost); maxBytes <= 0 disables caching (every lookup misses, every
+// store is dropped), which keeps the handler logic branch-free.
+func newResultCache(maxBytes int64, rec *obs.Recorder) *resultCache {
 	return &resultCache{
-		cap:       capacity,
+		maxBytes:  maxBytes,
 		ll:        list.New(),
 		items:     make(map[string]*list.Element),
 		hits:      rec.Counter("server.cache.hits"),
 		misses:    rec.Counter("server.cache.misses"),
 		evictions: rec.Counter("server.cache.evictions"),
 		entries:   rec.Counter("server.cache.entries"),
+		sizeGauge: rec.Counter("server.cache.bytes"),
 	}
 }
 
@@ -81,27 +101,40 @@ func (c *resultCache) get(key string) (*xhybrid.Plan, bool) {
 	return el.Value.(*cacheEntry).plan, true
 }
 
-// put stores the plan under key, evicting the least recently used entry
-// when the cache is full. Re-storing an existing key only promotes it.
+// put stores the plan under key, evicting least recently used entries
+// until the byte budget holds. A plan costing more than the whole budget
+// is not cached at all (it would only evict everything else on its way to
+// being the next eviction). Re-storing an existing key re-weighs it and
+// promotes it.
 func (c *resultCache) put(key string, plan *xhybrid.Plan) {
-	if c.cap <= 0 {
+	if c.maxBytes <= 0 {
+		return
+	}
+	cost := planCost(plan)
+	if cost > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).plan = plan
-		return
+		e := el.Value.(*cacheEntry)
+		c.bytes += cost - e.cost
+		e.plan, e.cost = plan, cost
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan, cost: cost})
+		c.bytes += cost
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan})
-	if c.ll.Len() > c.cap {
+	for c.bytes > c.maxBytes {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		delete(c.items, e.key)
+		c.bytes -= e.cost
 		c.evictions.Inc()
 	}
 	c.entries.Set(int64(c.ll.Len()))
+	c.sizeGauge.Set(c.bytes)
 }
 
 // len returns the current entry count.
@@ -109,4 +142,11 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// size returns the current byte total of the in-memory tier.
+func (c *resultCache) size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -1,0 +1,274 @@
+package server
+
+// The persistent tier of the result cache: a disk-backed, content-addressed
+// plan store layered behind the in-memory LRU. Every computed plan is
+// spooled as <digest>.plan (JSON, written via temp + atomic rename — the
+// same durability idiom as the job spool) and indexed by an LRU manifest
+// (index.json) that records order and sizes, so a restarted daemon serves
+// previously computed plans with zero recompute: the memory tier misses,
+// the disk tier hits, the entry is promoted back into memory.
+//
+// All disk traffic goes through the jobs.FS seam, so the chaos harness can
+// inject faults here exactly as it does for the spool. Failures are never
+// fatal to a request: an unreadable or undecodable plan file is treated as
+// a miss (and dropped from the index), a failed write just means the plan
+// is not persisted this time.
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"xhybrid"
+	"xhybrid/internal/jobs"
+	"xhybrid/internal/obs"
+)
+
+const (
+	planSuffix    = ".plan"
+	diskIndexFile = "index.json"
+	diskTmpSuffix = ".tmp"
+)
+
+// diskIndex is the persisted LRU manifest, most recently used first.
+type diskIndex struct {
+	Entries []diskIndexEntry `json:"entries"`
+}
+
+type diskIndexEntry struct {
+	Digest string `json:"digest"`
+	Size   int64  `json:"size"`
+}
+
+// diskStore is the persistent, byte-budgeted plan tier.
+type diskStore struct {
+	dir      string
+	fs       jobs.FS
+	maxBytes int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used; values are *diskIndexEntry
+	items map[string]*list.Element
+	bytes int64
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	writes    *obs.Counter
+	evictions *obs.Counter
+	errorsC   *obs.Counter
+	entries   *obs.Counter
+	sizeGauge *obs.Counter
+}
+
+// openDiskStore loads (creating if needed) the plan store at dir and
+// reconciles the index with the files actually present: entries whose file
+// vanished are dropped, orphaned plan files (a crash between the data
+// write and the index write) are validated and adopted as least recently
+// used, and the byte budget is enforced. fsys nil means the real
+// filesystem.
+func openDiskStore(dir string, maxBytes int64, fsys jobs.FS, rec *obs.Recorder) (*diskStore, error) {
+	if fsys == nil {
+		fsys = jobs.OSFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: cache dir: %w", err)
+	}
+	d := &diskStore{
+		dir:      dir,
+		fs:       fsys,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+
+		hits:      rec.Counter("server.cache.disk.hits"),
+		misses:    rec.Counter("server.cache.disk.misses"),
+		writes:    rec.Counter("server.cache.disk.writes"),
+		evictions: rec.Counter("server.cache.disk.evictions"),
+		errorsC:   rec.Counter("server.cache.disk.errors"),
+		entries:   rec.Counter("server.cache.disk.entries"),
+		sizeGauge: rec.Counter("server.cache.disk.bytes"),
+	}
+	if err := d.load(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// load rebuilds the in-memory LRU from index.json plus a directory scan.
+func (d *diskStore) load() error {
+	onDisk := make(map[string]bool)
+	dirents, err := d.fs.ReadDir(d.dir)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	for _, e := range dirents {
+		if name := e.Name(); strings.HasSuffix(name, planSuffix) && !e.IsDir() {
+			onDisk[strings.TrimSuffix(name, planSuffix)] = true
+		}
+	}
+
+	var idx diskIndex
+	if data, err := d.fs.ReadFile(filepath.Join(d.dir, diskIndexFile)); err == nil {
+		// A torn or corrupted index is not fatal: fall through to the scan
+		// and rebuild it from the plan files themselves.
+		_ = json.Unmarshal(data, &idx)
+	}
+	for _, e := range idx.Entries {
+		if !onDisk[e.Digest] || d.items[e.Digest] != nil {
+			continue // stale or duplicate manifest row
+		}
+		d.items[e.Digest] = d.ll.PushBack(&diskIndexEntry{Digest: e.Digest, Size: e.Size})
+		d.bytes += e.Size
+		delete(onDisk, e.Digest)
+	}
+	// Orphans: plan files the manifest never recorded. Validate and adopt
+	// them as coldest — a crash loses LRU recency, never a computed plan.
+	for digest := range onDisk {
+		data, err := d.fs.ReadFile(d.planPath(digest))
+		if err != nil {
+			continue
+		}
+		if !json.Valid(data) {
+			_ = d.fs.Remove(d.planPath(digest))
+			continue
+		}
+		d.items[digest] = d.ll.PushBack(&diskIndexEntry{Digest: digest, Size: int64(len(data))})
+		d.bytes += int64(len(data))
+	}
+	d.evictLocked()
+	d.persistLocked()
+	d.entries.Set(int64(d.ll.Len()))
+	d.sizeGauge.Set(d.bytes)
+	return nil
+}
+
+func (d *diskStore) planPath(digest string) string {
+	return filepath.Join(d.dir, digest+planSuffix)
+}
+
+// get loads the plan for digest from disk, promoting it to most recently
+// used. A missing, unreadable or undecodable file is a miss (and the entry
+// is dropped so the next put can rewrite it).
+func (d *diskStore) get(digest string) (*xhybrid.Plan, bool) {
+	d.mu.Lock()
+	el, ok := d.items[digest]
+	if !ok {
+		d.mu.Unlock()
+		d.misses.Inc()
+		return nil, false
+	}
+	d.ll.MoveToFront(el)
+	d.mu.Unlock()
+
+	data, err := d.fs.ReadFile(d.planPath(digest))
+	if err != nil {
+		d.drop(digest)
+		d.misses.Inc()
+		return nil, false
+	}
+	plan := new(xhybrid.Plan)
+	if err := json.Unmarshal(data, plan); err != nil {
+		d.drop(digest)
+		d.errorsC.Inc()
+		d.misses.Inc()
+		return nil, false
+	}
+	d.hits.Inc()
+	return plan, true
+}
+
+// put persists the plan under its digest and updates the manifest,
+// evicting cold entries past the byte budget. Best-effort: on any write
+// error the store just skips persisting this plan.
+func (d *diskStore) put(digest string, plan *xhybrid.Plan) {
+	data, err := json.Marshal(plan)
+	if err != nil || int64(len(data)) > d.maxBytes {
+		return
+	}
+	if err := d.writeAtomic(d.planPath(digest), data); err != nil {
+		d.errorsC.Inc()
+		return
+	}
+	d.mu.Lock()
+	if el, ok := d.items[digest]; ok {
+		e := el.Value.(*diskIndexEntry)
+		d.bytes += int64(len(data)) - e.Size
+		e.Size = int64(len(data))
+		d.ll.MoveToFront(el)
+	} else {
+		d.items[digest] = d.ll.PushFront(&diskIndexEntry{Digest: digest, Size: int64(len(data))})
+		d.bytes += int64(len(data))
+	}
+	d.evictLocked()
+	d.persistLocked()
+	d.entries.Set(int64(d.ll.Len()))
+	d.sizeGauge.Set(d.bytes)
+	d.mu.Unlock()
+	d.writes.Inc()
+}
+
+// drop removes a digest whose backing file went bad.
+func (d *diskStore) drop(digest string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.items[digest]; ok {
+		d.bytes -= el.Value.(*diskIndexEntry).Size
+		d.ll.Remove(el)
+		delete(d.items, digest)
+		_ = d.fs.Remove(d.planPath(digest))
+		d.persistLocked()
+		d.entries.Set(int64(d.ll.Len()))
+		d.sizeGauge.Set(d.bytes)
+	}
+}
+
+// evictLocked removes least recently used entries (and their files) until
+// the byte budget holds.
+func (d *diskStore) evictLocked() {
+	for d.bytes > d.maxBytes && d.ll.Len() > 0 {
+		oldest := d.ll.Back()
+		e := oldest.Value.(*diskIndexEntry)
+		d.ll.Remove(oldest)
+		delete(d.items, e.Digest)
+		d.bytes -= e.Size
+		_ = d.fs.Remove(d.planPath(e.Digest))
+		d.evictions.Inc()
+	}
+}
+
+// persistLocked writes the LRU manifest atomically. Losing it to a crash
+// costs recency ordering and nothing else — load() re-adopts every plan
+// file it finds.
+func (d *diskStore) persistLocked() {
+	idx := diskIndex{Entries: make([]diskIndexEntry, 0, d.ll.Len())}
+	for el := d.ll.Front(); el != nil; el = el.Next() {
+		idx.Entries = append(idx.Entries, *el.Value.(*diskIndexEntry))
+	}
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return
+	}
+	if err := d.writeAtomic(filepath.Join(d.dir, diskIndexFile), data); err != nil {
+		d.errorsC.Inc()
+	}
+}
+
+func (d *diskStore) writeAtomic(path string, data []byte) error {
+	tmp := path + diskTmpSuffix
+	if err := d.fs.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return d.fs.Rename(tmp, path)
+}
+
+// stats reports entry count and byte total (scrape-time gauges).
+func (d *diskStore) stats() (entriesN int, bytes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ll.Len(), d.bytes
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xhybrid"
+	"xhybrid/internal/obs"
+)
+
+// TestPersistentCacheSurvivesRestart is the crash/restart drill of the
+// result store: compute once, tear the server down, bring a fresh one up
+// over the same cache directory, and the same request must be served from
+// disk — X-Cache: hit, the disk-hit counter moving, and zero recompute
+// (locked by the pipeline's round counter staying at zero).
+func TestPersistentCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := fixtureBody(t)
+
+	s1 := newTestServer(t, Config{CacheDir: dir})
+	first := post(t, s1, "/v1/partition?m=10&q=2", body, nil)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first status %d: %s", first.Code, first.Body.String())
+	}
+	if got := first.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
+	}
+	if got := s1.rec.Snapshot().CounterValue("server.cache.disk.writes"); got != 1 {
+		t.Fatalf("disk writes = %d, want 1", got)
+	}
+
+	// "Restart": a brand-new server (fresh recorder, cold memory tier)
+	// over the same directory. Nothing in-process survives; only the disk
+	// store can answer from cache.
+	s2 := newTestServer(t, Config{CacheDir: dir})
+	second := post(t, s2, "/v1/partition?m=10&q=2", body, nil)
+	if second.Code != http.StatusOK {
+		t.Fatalf("post-restart status %d: %s", second.Code, second.Body.String())
+	}
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("post-restart X-Cache = %q, want hit from disk", got)
+	}
+	snap := s2.rec.Snapshot()
+	if got := snap.CounterValue("server.cache.disk.hits"); got != 1 {
+		t.Fatalf("disk hits = %d, want 1", got)
+	}
+	if got := snap.CounterValue("core.rounds"); got != 0 {
+		t.Fatalf("pipeline ran %d rounds after restart, want 0 (plan must come from disk)", got)
+	}
+
+	var r1, r2 partitionResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second.Body.Bytes(), &r2); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := json.Marshal(r1.Plan)
+	p2, _ := json.Marshal(r2.Plan)
+	if string(p1) != string(p2) {
+		t.Fatal("plan served from disk differs from the computed plan")
+	}
+
+	// A disk hit promotes into the memory tier: the third request must be
+	// a memory hit, leaving the disk-hit counter untouched.
+	third := post(t, s2, "/v1/partition?m=10&q=2", body, nil)
+	if got := third.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("third X-Cache = %q, want hit", got)
+	}
+	snap = s2.rec.Snapshot()
+	if got := snap.CounterValue("server.cache.disk.hits"); got != 1 {
+		t.Fatalf("disk hits after promotion = %d, want still 1 (memory tier must absorb repeats)", got)
+	}
+	if got := snap.CounterValue("server.cache.hits"); got != 1 {
+		t.Fatalf("memory hits = %d, want 1", got)
+	}
+}
+
+// storePlan is a small distinguishable plan for store-level tests.
+func storePlan(n int) *xhybrid.Plan {
+	return &xhybrid.Plan{Partitions: []xhybrid.PartitionInfo{{Patterns: make([]int, n)}}}
+}
+
+// TestDiskStoreEvictsToBudget checks the byte budget end to end: puts past
+// the cap evict the coldest plan files from disk, and the manifest tracks
+// what is really there.
+func TestDiskStoreEvictsToBudget(t *testing.T) {
+	dir := t.TempDir()
+	probe, _ := json.Marshal(storePlan(8))
+	budget := int64(3*len(probe)) + 2 // room for three plans, not four
+	d, err := openDiskStore(dir, budget, nil, obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, digest := range []string{"d1", "d2", "d3", "d4"} {
+		d.put(digest, storePlan(8))
+	}
+	if _, ok := d.get("d1"); ok {
+		t.Fatal("coldest entry survived past the byte budget")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "d1"+planSuffix)); !os.IsNotExist(err) {
+		t.Fatal("evicted plan file still on disk")
+	}
+	for _, digest := range []string{"d2", "d3", "d4"} {
+		if _, ok := d.get(digest); !ok {
+			t.Fatalf("%s missing after eviction", digest)
+		}
+	}
+	n, bytes := d.stats()
+	if n != 3 || bytes > budget {
+		t.Fatalf("stats = %d entries / %d bytes, want 3 entries within %d", n, bytes, budget)
+	}
+}
+
+// TestDiskStoreAdoptsOrphansAndDropsCorruption drives the reconciliation
+// path: a plan file the manifest never recorded (crash between data write
+// and index write) is adopted; a torn/corrupted plan file is removed; a
+// manifest row whose file vanished is dropped.
+func TestDiskStoreAdoptsOrphansAndDropsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d, err := openDiskStore(dir, 1<<20, nil, obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.put("kept", storePlan(4))
+	d.put("vanishes", storePlan(4))
+
+	// Simulate the crash tableau by hand: an orphan (valid JSON, no
+	// manifest row), a torn write (invalid JSON), and a deleted file whose
+	// manifest row remains.
+	orphan, _ := json.Marshal(storePlan(6))
+	if err := os.WriteFile(filepath.Join(dir, "orphan"+planSuffix), orphan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn"+planSuffix), []byte(`{"Partitions":[tor`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "vanishes"+planSuffix)); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := openDiskStore(dir, 1<<20, nil, obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.get("kept"); !ok {
+		t.Fatal("manifest-tracked plan lost across reopen")
+	}
+	if _, ok := d2.get("orphan"); !ok {
+		t.Fatal("valid orphan plan not adopted")
+	}
+	if _, ok := d2.get("torn"); ok {
+		t.Fatal("corrupted plan file served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "torn"+planSuffix)); !os.IsNotExist(err) {
+		t.Fatal("corrupted plan file not removed at reconciliation")
+	}
+	if _, ok := d2.get("vanishes"); ok {
+		t.Fatal("stale manifest row resurrected a deleted plan")
+	}
+	if n, _ := d2.stats(); n != 2 {
+		t.Fatalf("entries after reconciliation = %d, want 2 (kept + orphan)", n)
+	}
+}

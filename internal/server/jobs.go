@@ -11,6 +11,7 @@ package server
 //	GET    /v1/jobs             list every spooled job
 //	GET    /v1/jobs/{id}        status + live progress
 //	GET    /v1/jobs/{id}/result finished plan (format=json|text)
+//	GET    /v1/jobs/{id}/events live progress stream (SSE; events.go)
 //	DELETE /v1/jobs/{id}        cancel (idempotent)
 
 import (
@@ -32,12 +33,14 @@ type jobEnvelope struct {
 type jobLinks struct {
 	Self   string `json:"self"`
 	Result string `json:"result"`
+	Events string `json:"events"`
 }
 
 func envelope(st jobs.Status) jobEnvelope {
 	return jobEnvelope{Status: st, Links: jobLinks{
 		Self:   "/v1/jobs/" + st.ID,
 		Result: "/v1/jobs/" + st.ID + "/result",
+		Events: "/v1/jobs/" + st.ID + "/events",
 	}}
 }
 
@@ -71,6 +74,11 @@ func (s *Server) jobErr(w http.ResponseWriter, err error) {
 // with the job record before any computing happens.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Inc()
+	ten, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	s.tenantCounter(ten, "requests").Inc()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	q := r.URL.Query()
 	ro, err := parseOptions(q)
@@ -102,7 +110,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Workers:         s.clampWorkers(ro.workers),
 		CheckpointEvery: every,
 	}
-	meta, err := s.cfg.Jobs.Submit(r.Context(), x, opts)
+	tenantID := ""
+	if ten != anonTenant {
+		tenantID = ten.ID
+	}
+	meta, err := s.cfg.Jobs.SubmitTenant(r.Context(), x, opts, tenantID)
 	if err != nil {
 		if errors.Is(err, jobs.ErrQueueFull) {
 			s.jobErr(w, err)
@@ -118,6 +130,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Inc()
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	list, err := s.cfg.Jobs.List(r.Context())
 	if err != nil {
 		s.jobErr(w, err)
@@ -135,6 +150,9 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Inc()
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	st, err := s.cfg.Jobs.Get(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.jobErr(w, err)
@@ -148,6 +166,9 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 // the job's spooled input — byte-identical output across all three paths.
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Inc()
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	id := r.PathValue("id")
 	ro, err := parseOptions(r.URL.Query())
 	if err != nil {
@@ -180,6 +201,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 // no-op success (DELETE is idempotent).
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Inc()
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	id := r.PathValue("id")
 	if err := s.cfg.Jobs.Cancel(r.Context(), id); err != nil {
 		s.jobErr(w, err)

@@ -21,7 +21,7 @@ func newJobsServer(t *testing.T, jcfg jobs.Config) (*Server, *jobs.Manager) {
 		t.Fatal(err)
 	}
 	t.Cleanup(mgr.Stop)
-	return New(Config{Jobs: mgr}), mgr
+	return newTestServer(t, Config{Jobs: mgr}), mgr
 }
 
 func do(t *testing.T, s *Server, method, target string, body []byte) *httptest.ResponseRecorder {
@@ -241,7 +241,7 @@ func TestJobsAPIQueueFull(t *testing.T) {
 
 // TestJobsAPIDisabled: without a manager the routes are simply absent.
 func TestJobsAPIDisabled(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	if w := do(t, s, http.MethodPost, "/v1/jobs", fixtureBody(t)); w.Code != http.StatusNotFound {
 		t.Errorf("POST /v1/jobs without spool = %d, want 404", w.Code)
 	}
@@ -273,7 +273,7 @@ func TestJobsAPIRestartResumes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sA := New(Config{Jobs: mgrA})
+	sA := newTestServer(t, Config{Jobs: mgrA})
 	w := do(t, sA, http.MethodPost, "/v1/jobs?m=10&q=2&checkpoint=1", fixtureBody(t))
 	if w.Code != http.StatusAccepted {
 		t.Fatalf("submit status %d", w.Code)
@@ -287,7 +287,7 @@ func TestJobsAPIRestartResumes(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(mgrB.Stop)
-	sB := New(Config{Jobs: mgrB})
+	sB := newTestServer(t, Config{Jobs: mgrB})
 	final := pollDone(t, sB, env.ID)
 	if final.State != jobs.StateDone {
 		t.Fatalf("recovered job = %s (error %q), want done", final.State, final.Error)

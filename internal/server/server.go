@@ -26,9 +26,25 @@ import (
 // Config parameterizes the serving layer. The zero value serves with the
 // documented defaults.
 type Config struct {
-	// CacheSize is the LRU result-cache capacity in plans (default 128;
-	// negative disables caching).
-	CacheSize int
+	// CacheBytes is the in-memory result-cache budget in bytes, weighted
+	// by each plan's approximate resident size (default 256 MiB; negative
+	// disables the memory tier).
+	CacheBytes int64
+	// CacheDir enables the persistent result tier: computed plans are
+	// spooled content-addressed under this directory and survive restarts
+	// (empty disables the disk tier).
+	CacheDir string
+	// CacheDiskBytes is the disk tier's byte budget (default 1 GiB).
+	CacheDiskBytes int64
+	// CacheFS overrides the disk tier's filesystem (nil = the real one);
+	// the chaos harness injects faults here.
+	CacheFS jobs.FS
+	// Tenants enables multi-tenant admission: requests must carry one of
+	// these tenants' API keys (Authorization: Bearer or X-API-Key), slots
+	// are granted by weighted fair scheduling, and per-tenant quotas
+	// apply. Empty leaves the server open — every request runs as the
+	// anonymous weight-1 tenant.
+	Tenants []Tenant
 	// MaxConcurrent caps the partition jobs computing at once (default
 	// runtime.GOMAXPROCS(0)).
 	MaxConcurrent int
@@ -47,6 +63,9 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown's wait for in-flight jobs
 	// (default 30s).
 	DrainTimeout time.Duration
+	// ProgressInterval is the poll cadence of the SSE job-progress stream
+	// (default 250ms).
+	ProgressInterval time.Duration
 	// Jobs enables the async /v1/jobs API: submissions are spooled to disk
 	// by this manager, survive restarts, and resume from their last
 	// checkpoint. nil leaves the endpoints unregistered (synchronous
@@ -59,8 +78,11 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.CacheSize == 0 {
-		c.CacheSize = 128
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.CacheDiskBytes <= 0 {
+		c.CacheDiskBytes = 1 << 30
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = runtime.GOMAXPROCS(0)
@@ -77,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 250 * time.Millisecond
+	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
 	}
@@ -86,32 +111,49 @@ func (c Config) withDefaults() Config {
 // Server hosts the partition pipeline behind HTTP. Create with New; the
 // zero value is not usable.
 type Server struct {
-	cfg   Config
-	rec   *obs.Recorder
-	cache *resultCache
-	queue *jobQueue
-	mux   *http.ServeMux
+	cfg     Config
+	rec     *obs.Recorder
+	cache   *resultCache
+	disk    *diskStore // nil without Config.CacheDir
+	queue   *fairQueue
+	tenants *tenantRegistry // nil on an open server
+	mux     *http.ServeMux
 
-	reqs      *obs.Counter
-	completed *obs.Counter
-	rejected  *obs.Counter
-	canceled  *obs.Counter
-	badReq    *obs.Counter
+	reqs         *obs.Counter
+	completed    *obs.Counter
+	rejected     *obs.Counter
+	disconnected *obs.Counter
+	timedout     *obs.Counter
+	unauthorized *obs.Counter
+	badReq       *obs.Counter
 }
 
-// New returns a server with the config's defaults applied.
-func New(cfg Config) *Server {
+// New returns a server with the config's defaults applied. The error is
+// non-nil only when the persistent cache tier (Config.CacheDir) cannot be
+// opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		rec:       cfg.Obs,
-		cache:     newResultCache(cfg.CacheSize, cfg.Obs),
-		queue:     newJobQueue(cfg.MaxConcurrent, cfg.MaxQueue),
-		reqs:      cfg.Obs.Counter("server.requests"),
-		completed: cfg.Obs.Counter("server.jobs.completed"),
-		rejected:  cfg.Obs.Counter("server.jobs.rejected"),
-		canceled:  cfg.Obs.Counter("server.jobs.canceled"),
-		badReq:    cfg.Obs.Counter("server.requests.bad"),
+		cfg:     cfg,
+		rec:     cfg.Obs,
+		cache:   newResultCache(cfg.CacheBytes, cfg.Obs),
+		queue:   newFairQueue(cfg.MaxConcurrent, cfg.MaxQueue),
+		tenants: newTenantRegistry(cfg.Tenants),
+
+		reqs:         cfg.Obs.Counter("server.requests"),
+		completed:    cfg.Obs.Counter("server.jobs.completed"),
+		rejected:     cfg.Obs.Counter("server.jobs.rejected"),
+		disconnected: cfg.Obs.Counter("server.jobs.disconnected"),
+		timedout:     cfg.Obs.Counter("server.jobs.timedout"),
+		unauthorized: cfg.Obs.Counter("server.requests.unauthorized"),
+		badReq:       cfg.Obs.Counter("server.requests.bad"),
+	}
+	if cfg.CacheDir != "" {
+		disk, err := openDiskStore(cfg.CacheDir, cfg.CacheDiskBytes, cfg.CacheFS, cfg.Obs)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/partition", s.handlePartition)
@@ -121,6 +163,7 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 		mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+		mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	}
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -131,7 +174,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler (also usable under httptest).
@@ -168,6 +211,51 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	}
 	return s.Serve(ctx, ln)
+}
+
+// authorize resolves the request's tenant, answering 401 itself when the
+// server enforces keys and the request carries none it knows. Operational
+// endpoints (healthz, metrics, pprof) stay open by not calling this.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	ten, err := s.tenants.resolve(r)
+	if err != nil {
+		s.unauthorized.Inc()
+		w.Header().Set("WWW-Authenticate", `Bearer realm="xhybridd"`)
+		s.errorJSON(w, http.StatusUnauthorized, err)
+		return nil, false
+	}
+	return ten, true
+}
+
+// tenantCounter resolves one per-tenant counter, e.g.
+// server.tenant.acme.completed.
+func (s *Server) tenantCounter(ten *Tenant, what string) *obs.Counter {
+	return s.rec.Counter("server.tenant." + ten.ID + "." + what)
+}
+
+// cacheGet probes the two cache tiers in order: the in-memory LRU, then
+// the persistent store (promoting a disk hit back into memory so repeat
+// traffic stays off the disk).
+func (s *Server) cacheGet(digest string) (*xhybrid.Plan, bool) {
+	if plan, ok := s.cache.get(digest); ok {
+		return plan, true
+	}
+	if s.disk == nil {
+		return nil, false
+	}
+	plan, ok := s.disk.get(digest)
+	if ok {
+		s.cache.put(digest, plan)
+	}
+	return plan, ok
+}
+
+// cachePut stores a fresh plan in both tiers.
+func (s *Server) cachePut(digest string, plan *xhybrid.Plan) {
+	s.cache.put(digest, plan)
+	if s.disk != nil {
+		s.disk.put(digest, plan)
+	}
 }
 
 // requestOptions is the decoded query-string configuration of one request.
@@ -377,6 +465,11 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.errorJSON(w, http.StatusMethodNotAllowed, errors.New("server: POST required"))
 		return
 	}
+	ten, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	s.tenantCounter(ten, "requests").Inc()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	ro, err := parseOptions(r.URL.Query())
 	if err != nil {
@@ -397,24 +490,35 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	if plan, ok := s.cache.get(digest); ok {
+	if plan, ok := s.cacheGet(digest); ok {
+		s.tenantCounter(ten, "completed").Inc()
 		s.writePlan(w, r, ro, x, digest, plan, true, start)
 		return
 	}
 
-	// Admission: one bounded wait for a job slot under the request context.
-	if err := s.queue.acquire(r.Context()); err != nil {
-		if errors.Is(err, errQueueFull) {
+	// Admission: one bounded, weighted-fair wait for a job slot under the
+	// request context.
+	if err := s.queue.acquire(r.Context(), ten); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
 			s.rejected.Inc()
+			s.tenantCounter(ten, "rejected").Inc()
 			w.Header().Set("Retry-After", "1")
 			s.errorJSON(w, http.StatusServiceUnavailable, err)
-			return
+		case errors.Is(err, errTenantBusy):
+			s.rejected.Inc()
+			s.tenantCounter(ten, "rejected").Inc()
+			w.Header().Set("Retry-After", "1")
+			s.errorJSON(w, http.StatusTooManyRequests, err)
+		default:
+			// The wait ended with the request context: the client hung up
+			// (or its own deadline passed). Nobody reads the body, so skip
+			// the doomed write.
+			s.disconnected.Inc()
 		}
-		s.canceled.Inc()
-		s.errorJSON(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	defer s.queue.release()
+	defer s.queue.release(ten)
 
 	ctx := r.Context()
 	if s.cfg.JobTimeout > 0 {
@@ -429,20 +533,28 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	plan, err := xhybrid.PartitionCtx(ctx, x, opt)
 	end()
 	if err != nil {
-		if ctx.Err() != nil {
-			// Client gone or job deadline hit: the pipeline aborted
-			// mid-round. 503 tells retrying proxies the server gave up,
-			// not that the input was bad.
-			s.canceled.Inc()
+		switch {
+		case r.Context().Err() != nil:
+			// The client is gone — it can never read a response, so do not
+			// write one. This used to be lumped with server-side aborts
+			// under one `canceled` counter and answered with a 503 nobody
+			// would see.
+			s.disconnected.Inc()
+		case ctx.Err() != nil:
+			// Server-side abort: the JobTimeout deadline expired while the
+			// client still listens. 503 tells retrying proxies the server
+			// gave up, not that the input was bad.
+			s.timedout.Inc()
 			s.errorJSON(w, http.StatusServiceUnavailable, err)
-			return
+		default:
+			s.badReq.Inc()
+			s.errorJSON(w, http.StatusBadRequest, err)
 		}
-		s.badReq.Inc()
-		s.errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	s.cache.put(digest, plan)
+	s.cachePut(digest, plan)
 	s.completed.Inc()
+	s.tenantCounter(ten, "completed").Inc()
 	s.writePlan(w, r, ro, x, digest, plan, false, start)
 }
 
@@ -482,6 +594,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.errorJSON(w, http.StatusMethodNotAllowed, errors.New("server: POST required"))
 		return
 	}
+	ten, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	s.tenantCounter(ten, "requests").Inc()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	x, err := readXMap(r, s.cfg.MaxBodyBytes)
 	if err != nil {
@@ -507,6 +624,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.rec.Set("server.queue.running", running)
 	s.rec.Set("server.queue.waiting", waiting)
 	s.rec.Set("server.cache.entries", int64(s.cache.len()))
+	s.rec.Set("server.cache.bytes", s.cache.size())
+	if s.disk != nil {
+		n, bytes := s.disk.stats()
+		s.rec.Set("server.cache.disk.entries", int64(n))
+		s.rec.Set("server.cache.disk.bytes", bytes)
+	}
+	for _, ten := range s.cfg.Tenants {
+		tr, tw := s.queue.tenantDepth(ten.ID)
+		s.rec.Set("server.tenant."+ten.ID+".running", tr)
+		s.rec.Set("server.tenant."+ten.ID+".waiting", tw)
+	}
 	if s.cfg.Jobs != nil {
 		jr, jw := s.cfg.Jobs.Depth()
 		s.rec.Set("jobs.queue.running", jr)

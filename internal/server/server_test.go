@@ -30,7 +30,11 @@ func fixtureBody(t *testing.T) []byte {
 
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
 }
 
 func post(t *testing.T, s *Server, target string, body []byte, hdr map[string]string) *httptest.ResponseRecorder {
@@ -162,30 +166,33 @@ func TestCacheSharedAcrossFormats(t *testing.T) {
 // TestJobQueueBounds unit-tests the admission controller: concurrency and
 // wait bounds, rejection, and context-aware waiting.
 func TestJobQueueBounds(t *testing.T) {
-	q := newJobQueue(1, 0)
-	if err := q.acquire(context.Background()); err != nil {
+	q := newFairQueue(1, 0)
+	if err := q.acquire(context.Background(), anonTenant); err != nil {
 		t.Fatalf("first acquire: %v", err)
 	}
-	if err := q.acquire(context.Background()); err != errQueueFull {
+	if err := q.acquire(context.Background(), anonTenant); err != errQueueFull {
 		t.Fatalf("overflow acquire = %v, want errQueueFull", err)
 	}
-	q.release()
-	if err := q.acquire(context.Background()); err != nil {
+	q.release(anonTenant)
+	if err := q.acquire(context.Background(), anonTenant); err != nil {
 		t.Fatalf("acquire after release: %v", err)
 	}
-	q.release()
+	q.release(anonTenant)
 
 	// With wait capacity, a canceled context aborts the wait.
-	q = newJobQueue(1, 1)
-	if err := q.acquire(context.Background()); err != nil {
+	q = newFairQueue(1, 1)
+	if err := q.acquire(context.Background(), anonTenant); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := q.acquire(ctx); err != context.Canceled {
+	if err := q.acquire(ctx, anonTenant); err != context.Canceled {
 		t.Fatalf("canceled wait = %v, want context.Canceled", err)
 	}
-	q.release()
+	if _, waiting := q.depth(); waiting != 0 {
+		t.Fatalf("canceled waiter still counted: waiting = %d", waiting)
+	}
+	q.release(anonTenant)
 }
 
 // TestQueueFullHTTP drives the rejection path end to end: with one slot
@@ -193,10 +200,10 @@ func TestJobQueueBounds(t *testing.T) {
 // rejection counter moves.
 func TestQueueFullHTTP(t *testing.T) {
 	s := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1})
-	if err := s.queue.acquire(context.Background()); err != nil {
+	if err := s.queue.acquire(context.Background(), anonTenant); err != nil {
 		t.Fatal(err)
 	}
-	defer s.queue.release()
+	defer s.queue.release(anonTenant)
 	w := post(t, s, "/v1/partition?m=10&q=2", fixtureBody(t), nil)
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", w.Code)
@@ -210,8 +217,10 @@ func TestQueueFullHTTP(t *testing.T) {
 }
 
 // TestCanceledRequestStopsCompute threads a dead context through the full
-// handler: the pipeline must abort (503, canceled counter, no cache entry)
-// rather than compute for a client that is gone.
+// handler: the pipeline must abort without computing for a client that is
+// gone, the disconnect must land on its own counter (not the server-side
+// timeout one it used to share), and — since nobody can read it — no
+// response body may be written.
 func TestCanceledRequestStopsCompute(t *testing.T) {
 	s := newTestServer(t, Config{})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -219,14 +228,36 @@ func TestCanceledRequestStopsCompute(t *testing.T) {
 	req := httptest.NewRequest(http.MethodPost, "/v1/partition?m=10&q=2", bytes.NewReader(fixtureBody(t))).WithContext(ctx)
 	w := httptest.NewRecorder()
 	s.Handler().ServeHTTP(w, req)
-	if w.Code != http.StatusServiceUnavailable {
-		t.Fatalf("status %d, want 503: %s", w.Code, w.Body.String())
+	if w.Body.Len() != 0 {
+		t.Fatalf("wrote %d body bytes for a disconnected client: %s", w.Body.Len(), w.Body.String())
 	}
-	if got := s.rec.Snapshot().CounterValue("server.jobs.canceled"); got != 1 {
-		t.Fatalf("canceled counter = %d, want 1", got)
+	snap := s.rec.Snapshot()
+	if got := snap.CounterValue("server.jobs.disconnected"); got != 1 {
+		t.Fatalf("disconnected counter = %d, want 1", got)
+	}
+	if got := snap.CounterValue("server.jobs.timedout"); got != 0 {
+		t.Fatalf("timedout counter = %d, want 0 (client disconnects must not count as server timeouts)", got)
 	}
 	if s.cache.len() != 0 {
 		t.Fatal("aborted job left a cache entry")
+	}
+}
+
+// TestJobTimeoutIsNotADisconnect locks the other half of the split: when
+// the server's own JobTimeout expires while the client still listens, the
+// request gets a real 503 and the timeout counter — not the disconnect one.
+func TestJobTimeoutIsNotADisconnect(t *testing.T) {
+	s := newTestServer(t, Config{JobTimeout: time.Nanosecond})
+	w := post(t, s, "/v1/partition?m=10&q=2", fixtureBody(t), nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", w.Code, w.Body.String())
+	}
+	snap := s.rec.Snapshot()
+	if got := snap.CounterValue("server.jobs.timedout"); got != 1 {
+		t.Fatalf("timedout counter = %d, want 1", got)
+	}
+	if got := snap.CounterValue("server.jobs.disconnected"); got != 0 {
+		t.Fatalf("disconnected counter = %d, want 0", got)
 	}
 }
 
@@ -407,11 +438,11 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
-// TestLRUEviction checks capacity accounting and LRU order at the cache
-// layer directly.
+// TestLRUEviction checks byte accounting and LRU order at the cache layer
+// directly.
 func TestLRUEviction(t *testing.T) {
-	c := newResultCache(2, nil)
 	p := &xhybrid.Plan{}
+	c := newResultCache(2*planCost(p), nil) // room for exactly two empty plans
 	c.put("a", p)
 	c.put("b", p)
 	if _, ok := c.get("a"); !ok { // promote a; b is now LRU
@@ -429,5 +460,47 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// TestLRUByteWeighting locks the bugfix boundary: the budget is enforced
+// in plan bytes, not plan count — one big plan displaces as many small
+// entries as its weight demands, and a plan bigger than the whole budget
+// is never cached. The old plan-counted LRU weighed a 100k-cell plan the
+// same as a toy one, so N huge entries could pin ~unbounded memory.
+func TestLRUByteWeighting(t *testing.T) {
+	small := &xhybrid.Plan{}
+	big := &xhybrid.Plan{Partitions: []xhybrid.PartitionInfo{{Patterns: make([]int, 1000)}}}
+	budget := 10*planCost(small) + planCost(big) - 1 // one small short of everything
+	c := newResultCache(budget, nil)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("s%d", i), small)
+	}
+	if c.len() != 10 {
+		t.Fatalf("len = %d, want 10 before the big insert", c.len())
+	}
+	c.put("big", big)
+	if c.size() > budget {
+		t.Fatalf("cache over budget: %d > %d", c.size(), budget)
+	}
+	if _, ok := c.get("big"); !ok {
+		t.Fatal("big plan not cached")
+	}
+	if _, ok := c.get("s0"); ok {
+		t.Fatal("oldest small entry survived; big insert must evict by bytes")
+	}
+	if _, ok := c.get("s9"); !ok {
+		t.Fatal("newest small entry evicted; only the cold tail should go")
+	}
+
+	// A plan heavier than the whole budget must not wipe the cache to
+	// store itself.
+	before := c.len()
+	c.put("whale", &xhybrid.Plan{Partitions: []xhybrid.PartitionInfo{{Patterns: make([]int, 1<<20)}}})
+	if _, ok := c.get("whale"); ok {
+		t.Fatal("over-budget plan was cached")
+	}
+	if c.len() != before {
+		t.Fatalf("over-budget put changed the cache: len %d -> %d", before, c.len())
 	}
 }

@@ -1,0 +1,147 @@
+package server
+
+// Multi-tenant identity: a static key file maps API keys onto tenants,
+// each carrying a scheduling weight and admission quotas. The registry is
+// immutable after load — rotating keys means restarting the daemon with a
+// new file, which keeps the trust story as simple as the spool's (a flat
+// file under operator control, no mutation endpoints to secure).
+//
+// When no tenants are configured every request runs as the anonymous
+// tenant with weight 1 and no per-tenant quotas, which preserves the
+// pre-tenant behavior of the serving layer bit for bit.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Tenant is one admitted principal of the serving layer.
+type Tenant struct {
+	// ID names the tenant in metrics, logs and reports. Required, unique.
+	ID string `json:"id"`
+	// Key is the bearer token identifying the tenant's requests. Required,
+	// unique across the file.
+	Key string `json:"key"`
+	// Weight is the tenant's share of job slots under contention (default
+	// 1). A weight-3 tenant is granted three slots for every one a
+	// weight-1 tenant gets while both have work queued.
+	Weight int `json:"weight,omitempty"`
+	// MaxConcurrent caps the job slots the tenant may hold at once
+	// (0 = no per-tenant cap beyond the server's global concurrency).
+	MaxConcurrent int `json:"maxConcurrent,omitempty"`
+	// MaxWaiting caps the tenant's requests waiting for a slot (0 = no
+	// per-tenant cap beyond the server's global wait queue). Beyond it the
+	// tenant gets 429 while other tenants keep being admitted.
+	MaxWaiting int `json:"maxWaiting,omitempty"`
+}
+
+// anonTenant is the implicit principal of an open (tenant-less) server.
+var anonTenant = &Tenant{ID: "anonymous", Weight: 1}
+
+// tenantFile is the on-disk shape of the -tenants key file.
+type tenantFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// LoadTenants reads and validates a tenant key file: a JSON object with a
+// "tenants" array of {id, key, weight, maxConcurrent, maxWaiting} records.
+// IDs and keys must be non-empty and unique; weights default to 1.
+func LoadTenants(path string) ([]Tenant, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant file: %w", err)
+	}
+	return ParseTenants(data)
+}
+
+// ParseTenants validates a tenant key file already in memory (LoadTenants
+// without the file read; loadgen shares it to address its lanes).
+func ParseTenants(data []byte) ([]Tenant, error) {
+	var tf tenantFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tf); err != nil {
+		return nil, fmt.Errorf("server: tenant file: %w", err)
+	}
+	if len(tf.Tenants) == 0 {
+		return nil, errors.New("server: tenant file has no tenants")
+	}
+	ids := make(map[string]bool, len(tf.Tenants))
+	keys := make(map[string]bool, len(tf.Tenants))
+	for i := range tf.Tenants {
+		t := &tf.Tenants[i]
+		if t.ID == "" {
+			return nil, fmt.Errorf("server: tenant %d: empty id", i)
+		}
+		if t.Key == "" {
+			return nil, fmt.Errorf("server: tenant %q: empty key", t.ID)
+		}
+		if ids[t.ID] {
+			return nil, fmt.Errorf("server: duplicate tenant id %q", t.ID)
+		}
+		if keys[t.Key] {
+			return nil, fmt.Errorf("server: duplicate tenant key (tenant %q)", t.ID)
+		}
+		ids[t.ID], keys[t.Key] = true, true
+		if t.Weight == 0 {
+			t.Weight = 1
+		}
+		if t.Weight < 0 || t.MaxConcurrent < 0 || t.MaxWaiting < 0 {
+			return nil, fmt.Errorf("server: tenant %q: negative weight or quota", t.ID)
+		}
+	}
+	return tf.Tenants, nil
+}
+
+// tenantRegistry resolves request credentials to tenants. A nil registry
+// is the open server: every request resolves to anonTenant.
+type tenantRegistry struct {
+	byKey map[string]*Tenant
+}
+
+func newTenantRegistry(tenants []Tenant) *tenantRegistry {
+	if len(tenants) == 0 {
+		return nil
+	}
+	reg := &tenantRegistry{byKey: make(map[string]*Tenant, len(tenants))}
+	for i := range tenants {
+		t := tenants[i]
+		reg.byKey[t.Key] = &t
+	}
+	return reg
+}
+
+// errNoTenant reports a request without acceptable credentials on a
+// tenant-enforcing server; the handler maps it to 401.
+var errNoTenant = errors.New("server: missing or unknown API key")
+
+// resolve maps the request's credentials to its tenant. Keys arrive as
+// `Authorization: Bearer <key>` or `X-API-Key: <key>`; on an open server
+// (nil registry) every request is the anonymous tenant.
+func (reg *tenantRegistry) resolve(r *http.Request) (*Tenant, error) {
+	if reg == nil {
+		return anonTenant, nil
+	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); auth != "" {
+			scheme, rest, ok := strings.Cut(auth, " ")
+			if ok && strings.EqualFold(scheme, "Bearer") {
+				key = strings.TrimSpace(rest)
+			}
+		}
+	}
+	if key == "" {
+		return nil, errNoTenant
+	}
+	t, ok := reg.byKey[key]
+	if !ok {
+		return nil, errNoTenant
+	}
+	return t, nil
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xhybrid/internal/jobs"
+)
+
+func TestParseTenants(t *testing.T) {
+	good := `{"tenants":[
+		{"id":"acme","key":"k-acme","weight":3,"maxConcurrent":2,"maxWaiting":4},
+		{"id":"zen","key":"k-zen"}
+	]}`
+	tenants, err := ParseTenants([]byte(good))
+	if err != nil {
+		t.Fatalf("ParseTenants: %v", err)
+	}
+	if len(tenants) != 2 || tenants[0].Weight != 3 || tenants[1].Weight != 1 {
+		t.Fatalf("parsed %+v (the zero weight must default to 1)", tenants)
+	}
+
+	bad := []struct {
+		name string
+		data string
+	}{
+		{"empty list", `{"tenants":[]}`},
+		{"missing id", `{"tenants":[{"key":"k"}]}`},
+		{"missing key", `{"tenants":[{"id":"a"}]}`},
+		{"duplicate id", `{"tenants":[{"id":"a","key":"k1"},{"id":"a","key":"k2"}]}`},
+		{"duplicate key", `{"tenants":[{"id":"a","key":"k"},{"id":"b","key":"k"}]}`},
+		{"negative weight", `{"tenants":[{"id":"a","key":"k","weight":-1}]}`},
+		{"unknown field", `{"tenants":[{"id":"a","key":"k","admin":true}]}`},
+		{"not json", `nope`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseTenants([]byte(tc.data)); err == nil {
+				t.Fatalf("ParseTenants accepted %s", tc.data)
+			}
+		})
+	}
+}
+
+// twoTenants is the standard fixture registry: acme (weight 3) and zen.
+func twoTenants() []Tenant {
+	return []Tenant{
+		{ID: "acme", Key: "k-acme", Weight: 3},
+		{ID: "zen", Key: "k-zen", Weight: 1},
+	}
+}
+
+// TestTenantAuth covers the credential surface of an enforcing server:
+// both header forms resolve, missing/unknown keys get 401 with a
+// WWW-Authenticate challenge, and operational endpoints stay open.
+func TestTenantAuth(t *testing.T) {
+	s := newTestServer(t, Config{Tenants: twoTenants()})
+	body := fixtureBody(t)
+
+	if w := post(t, s, "/v1/partition?m=10&q=2", body, nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("no key = %d, want 401", w.Code)
+	} else if w.Header().Get("WWW-Authenticate") == "" {
+		t.Fatal("401 without WWW-Authenticate")
+	}
+	if w := post(t, s, "/v1/partition?m=10&q=2", body, map[string]string{"X-API-Key": "wrong"}); w.Code != http.StatusUnauthorized {
+		t.Fatalf("bad key = %d, want 401", w.Code)
+	}
+	if w := post(t, s, "/v1/partition?m=10&q=2", body, map[string]string{"X-API-Key": "k-acme"}); w.Code != http.StatusOK {
+		t.Fatalf("X-API-Key = %d, want 200: %s", w.Code, w.Body.String())
+	}
+	if w := post(t, s, "/v1/partition?m=10&q=2", body, map[string]string{"Authorization": "bearer k-zen"}); w.Code != http.StatusOK {
+		t.Fatalf("Authorization bearer (case-insensitive scheme) = %d, want 200: %s", w.Code, w.Body.String())
+	}
+
+	snap := s.rec.Snapshot()
+	if got := snap.CounterValue("server.requests.unauthorized"); got != 2 {
+		t.Fatalf("unauthorized counter = %d, want 2", got)
+	}
+	if got := snap.CounterValue("server.tenant.acme.requests"); got != 1 {
+		t.Fatalf("acme request counter = %d, want 1", got)
+	}
+	if got := snap.CounterValue("server.tenant.zen.completed"); got != 1 {
+		t.Fatalf("zen completed counter = %d, want 1 (the second request hit acme's cache entry)", got)
+	}
+
+	// Operational endpoints never demand a key.
+	for _, target := range []string{"/healthz", "/metrics"} {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s without key = %d, want 200", target, w.Code)
+		}
+	}
+}
+
+// TestTenantWaitQuota429 drives the per-tenant admission bound through
+// HTTP: with the one job slot held and zen's wait lane full, zen's next
+// request gets 429 (not the global 503) while the queue still has room.
+func TestTenantWaitQuota429(t *testing.T) {
+	tenants := []Tenant{
+		{ID: "acme", Key: "k-acme", Weight: 1},
+		{ID: "zen", Key: "k-zen", Weight: 1, MaxWaiting: 1},
+	}
+	s := newTestServer(t, Config{Tenants: tenants, MaxConcurrent: 1, MaxQueue: 16})
+	body := fixtureBody(t)
+
+	// Hold the only slot as acme.
+	acme := s.tenants.byKey["k-acme"]
+	if err := s.queue.acquire(context.Background(), acme); err != nil {
+		t.Fatal(err)
+	}
+	defer s.queue.release(acme)
+
+	// One zen request parks in the wait lane (driven on a goroutine with a
+	// cancelable context; it never gets the slot).
+	waitCtx, cancelWait := context.WithCancel(context.Background())
+	defer cancelWait()
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		req := httptest.NewRequest(http.MethodPost, "/v1/partition?m=10&q=2",
+			strings.NewReader(string(body))).WithContext(waitCtx)
+		req.Header.Set("X-API-Key", "k-zen")
+		s.Handler().ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, waiting := s.queue.tenantDepth("zen"); waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("zen request never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// The second zen request exceeds MaxWaiting: 429 + Retry-After.
+	w := post(t, s, "/v1/partition?m=10&q=2", body, map[string]string{"X-API-Key": "k-zen"})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request = %d, want 429: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := s.rec.Snapshot().CounterValue("server.tenant.zen.rejected"); got != 1 {
+		t.Fatalf("zen rejected counter = %d, want 1", got)
+	}
+
+	cancelWait()
+	<-parked
+}
+
+// TestJobSubmitRecordsTenant checks attribution on the durable job record:
+// a spooled job carries its submitter's id and reports it in every status.
+func TestJobSubmitRecordsTenant(t *testing.T) {
+	mgr, err := jobs.Open(t.TempDir(), jobs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+	s := newTestServer(t, Config{Jobs: mgr, Tenants: twoTenants()})
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs?m=10&q=2", strings.NewReader(string(fixtureBody(t))))
+	req.Header.Set("Authorization", "Bearer k-acme")
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", w.Code, w.Body.String())
+	}
+	env := decodeJob(t, w)
+	if env.Tenant != "acme" {
+		t.Fatalf("job tenant = %q, want acme", env.Tenant)
+	}
+
+	// And the spooled record itself agrees (survives restarts).
+	st, err := mgr.Get(context.Background(), env.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "acme" {
+		t.Fatalf("spooled tenant = %q, want acme", st.Tenant)
+	}
+}
