@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"xhybrid/internal/gf2"
+	"xhybrid/internal/xmap"
 )
 
 // Binary X-location wire format ("XMAPB", version 1).
@@ -33,8 +34,8 @@ import (
 // it, mirroring ReadXLocations' refusal to silently merge duplicates. No
 // trailing bytes are permitted after the last record.
 const (
-	binMagic   = "XMAPB"
-	binVersion = 1
+	binMagic   = xmap.BinMagic
+	binVersion = xmap.BinVersion
 )
 
 // binMaxValue bounds every decoded uvarint so int conversions are safe and
@@ -45,57 +46,11 @@ const binMaxValue = math.MaxInt32
 // WriteBinary serializes the X locations in the compact binary wire format.
 // The encoding is canonical: equal maps produce byte-identical output
 // regardless of build order, which is what lets the serving layer use it as
-// a cache key.
+// a cache key. The encoder itself lives in internal/xmap (xmap.WriteBinary)
+// so the circuit flow can digest extracted maps without importing this
+// package.
 func (x *XLocations) WriteBinary(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binMagic); err != nil {
-		return err
-	}
-	if err := bw.WriteByte(binVersion); err != nil {
-		return err
-	}
-	var scratch [binary.MaxVarintLen64]byte
-	writeUv := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	cells := x.m.XCells()
-	for _, v := range [...]uint64{
-		uint64(x.geom.Chains), uint64(x.geom.ChainLen),
-		uint64(x.m.Patterns()), uint64(len(cells)),
-	} {
-		if err := writeUv(v); err != nil {
-			return err
-		}
-	}
-	prevCell := -1
-	for _, c := range cells {
-		gap := c.Cell // first record: absolute
-		if prevCell >= 0 {
-			gap = c.Cell - prevCell
-		}
-		if err := writeUv(uint64(gap)); err != nil {
-			return err
-		}
-		prevCell = c.Cell
-		ps := c.Patterns.Indices()
-		if err := writeUv(uint64(len(ps))); err != nil {
-			return err
-		}
-		prevP := -1
-		for _, p := range ps {
-			gap := p
-			if prevP >= 0 {
-				gap = p - prevP
-			}
-			if err := writeUv(uint64(gap)); err != nil {
-				return err
-			}
-			prevP = p
-		}
-	}
-	return bw.Flush()
+	return xmap.WriteBinary(w, x.m, x.geom.Chains, x.geom.ChainLen)
 }
 
 // ReadXLocationsBinary parses the binary wire format, streaming: each

@@ -1,0 +1,158 @@
+// Command flowbench runs the full front-to-back circuit flow — generate a
+// seeded circuit, LFSR ATPG, three-valued simulation, real X-map
+// extraction, partitioning, and a hardware-model replay — and reports the
+// per-stage timing, the plan accounting and the coverage-preservation
+// verdict as JSON. Its output is the record format of BENCH_flow.json; see
+// docs/FLOW.md for the stage walkthrough and EXPERIMENTS.md for the
+// scaling recipe.
+//
+// Usage:
+//
+//	flowbench -cells 4096 -chains 64 -xclusters 96 -patterns 256
+//	flowbench -cells 102400 -chains 512 -xclusters 2000 -strategy greedy
+//	flowbench -cells 1024 -chains 32 -xclusters 24 -sweep 1,2,4
+//
+// Every stage is seeded, so equal flags reproduce the identical report
+// (modulo wall times). -sweep runs the same spec once per listed worker
+// count and refuses to report if the X-map digest or the plan diverges —
+// the flow's determinism contract. flowbench exits non-zero when the
+// coverage-preservation assertions fail.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xhybrid"
+)
+
+func main() {
+	cells := flag.Int("cells", 4096, "scan-cell count")
+	chains := flag.Int("chains", 64, "scan-chain count (must divide cells)")
+	pis := flag.Int("pis", 8, "primary inputs")
+	gatesPerCell := flag.Float64("gates-per-cell", 0, "combinational cloud scale (0 = generator default 3.0)")
+	xclusters := flag.Int("xclusters", 96, "X-source clusters")
+	xfanout := flag.Int("xfanout", 0, "scan cells per cluster (0 = default 4)")
+	taps := flag.Int("taps", 0, "enable taps per cluster select (0 = default 2)")
+	dropout := flag.Int("dropout", 0, "per-mille chance of an extra blocking input per cluster cell")
+	patterns := flag.Int("patterns", 256, "test patterns")
+	cseed := flag.Int64("cseed", 1, "circuit generation seed")
+	sseed := flag.Uint64("sseed", 1, "ATPG LFSR seed")
+	mSize := flag.Int("m", 32, "MISR size (must not exceed chains)")
+	q := flag.Int("q", 7, "X-free combinations per halt")
+	strategy := flag.String("strategy", "paper", "paper, paper-random, paper-retry or greedy")
+	seed := flag.Int64("seed", 0, "partitioning seed (paper-random)")
+	rounds := flag.Int("rounds", 0, "max accepted partitioning rounds (0 = unlimited)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	faults := flag.Int("faults", 0, "stuck-at faults to sample for the coverage check (0 = skip)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault sampling seed")
+	sweep := flag.String("sweep", "", "comma-separated worker counts; run each and emit a JSON array")
+	out := flag.String("o", "", "write the JSON report here instead of stdout")
+	stats := flag.Bool("stats", false, "print the stage breakdown to stderr")
+	flag.Parse()
+
+	spec := xhybrid.FlowSpec{
+		Cells:           *cells,
+		Chains:          *chains,
+		PIs:             *pis,
+		GatesPerCell:    *gatesPerCell,
+		XClusters:       *xclusters,
+		XFanout:         *xfanout,
+		EnableTaps:      *taps,
+		DropoutPerMille: *dropout,
+		CircuitSeed:     *cseed,
+		StimSeed:        *sseed,
+		Patterns:        *patterns,
+		MISRSize:        *mSize,
+		Q:               *q,
+		Strategy:        *strategy,
+		Seed:            *seed,
+		MaxRounds:       *rounds,
+		Workers:         *workers,
+		FaultSample:     *faults,
+		FaultSeed:       *faultSeed,
+	}
+
+	var result any
+	preserved := true
+	if *sweep == "" {
+		rep := run(spec, *stats)
+		preserved = rep.Preserved
+		result = rep
+	} else {
+		var reps []*xhybrid.FlowReport
+		for _, f := range strings.Split(*sweep, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || w < 0 {
+				die(fmt.Errorf("bad -sweep entry %q", f))
+			}
+			s := spec
+			s.Workers = w
+			rep := run(s, *stats)
+			if len(reps) > 0 {
+				first := reps[0]
+				if rep.XMapDigest != first.XMapDigest {
+					die(fmt.Errorf("workers=%d X-map digest %s diverged from workers=%d %s",
+						w, rep.XMapDigest, first.Spec.Workers, first.XMapDigest))
+				}
+				if rep.TotalBits != first.TotalBits || rep.Partitions != first.Partitions || rep.Rounds != first.Rounds {
+					die(fmt.Errorf("workers=%d plan (%d bits, %d partitions, %d rounds) diverged from workers=%d (%d, %d, %d)",
+						w, rep.TotalBits, rep.Partitions, rep.Rounds,
+						first.Spec.Workers, first.TotalBits, first.Partitions, first.Rounds))
+				}
+			}
+			preserved = preserved && rep.Preserved
+			reps = append(reps, rep)
+		}
+		result = reps
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
+		die(err)
+	}
+	if !preserved {
+		die(fmt.Errorf("coverage-preservation assertions failed (see the report's replay/coverage sections)"))
+	}
+}
+
+// run executes one spec and prints a one-line summary to stderr.
+func run(spec xhybrid.FlowSpec, stats bool) *xhybrid.FlowReport {
+	rec := xhybrid.NewStats()
+	rep, err := xhybrid.RunFlowCtx(context.Background(), spec, xhybrid.FlowRunConfig{Obs: rec})
+	if err != nil {
+		die(err)
+	}
+	var wall float64
+	for _, st := range rep.Stages {
+		wall += st.Millis
+	}
+	fmt.Fprintf(os.Stderr,
+		"flowbench: %d cells, %d gates, %d patterns -> %d X's in %d cells (%.4f%%), %d partitions, %d total bits, preserved=%v, %.0f ms\n",
+		rep.Spec.Cells, rep.Gates, rep.Spec.Patterns, rep.TotalX, rep.XCells,
+		100*rep.Density, rep.Partitions, rep.TotalBits, rep.Preserved, wall)
+	if stats {
+		_ = rec.Snapshot().WriteText(os.Stderr)
+	}
+	return rep
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "flowbench:", err)
+	os.Exit(1)
+}

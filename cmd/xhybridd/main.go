@@ -39,6 +39,11 @@
 //
 //	POST   /v1/jobs             submit (same body/options as /v1/partition,
 //	                            plus checkpoint=K); answers 202 + job record.
+//	POST   /v1/flow             submit an end-to-end circuit flow (body is a
+//	                            flow.Spec JSON: seeds + geometry + options;
+//	                            docs/FLOW.md). Same job lifecycle as
+//	                            /v1/jobs; the result is the flow report and
+//	                            the SSE stream announces each stage.
 //	GET    /v1/jobs             list spooled jobs.
 //	GET    /v1/jobs/{id}        status with live per-round progress.
 //	GET    /v1/jobs/{id}/result finished plan (format=json|text).

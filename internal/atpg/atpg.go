@@ -2,6 +2,19 @@
 // pseudo-random pattern generator (the usual logic-BIST / test-compression
 // source) with optional per-bit weighting, producing the scan-load and
 // primary-input vectors the simulator consumes.
+//
+// In the end-to-end flow (docs/FLOW.md) this is the second stage: the
+// stimuli it generates for a netlist.Generate circuit are what
+// internal/sim evaluates to produce the responses the real X-map is
+// extracted from. GenerateStimuli is fully determined by (patterns, scan
+// width, PI width, seed) — same arguments, same vectors, on any host —
+// which is what lets a flow job resume after a crash by regenerating its
+// stimuli instead of spooling them. The LFSR maps the all-zero lockup seed
+// to 1, so every seed (including 0) yields a maximal-length sequence.
+//
+// This package stands in for the commercial ATPG of the paper's setup; see
+// DESIGN.md §3 (substitutions) for why pseudo-random stimuli preserve the
+// behaviour the paper measures.
 package atpg
 
 import (

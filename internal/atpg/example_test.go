@@ -1,0 +1,22 @@
+package atpg_test
+
+import (
+	"fmt"
+
+	"xhybrid/internal/atpg"
+)
+
+// ExampleGenerateStimuli produces the seeded pseudo-random patterns the
+// flow's simulate stage applies (docs/FLOW.md). The stimuli are a pure
+// function of the arguments: the same (patterns, widths, seed) reproduce
+// the same vectors on any host, so a resumed flow job regenerates them.
+func ExampleGenerateStimuli() {
+	st := atpg.GenerateStimuli(4, 16, 8, 0xbeef)
+	fmt.Printf("patterns: %d\n", len(st.Loads))
+	fmt.Printf("second load: %s\n", st.Loads[1])
+	fmt.Printf("second pis:  %s\n", st.PIs[1])
+	// Output:
+	// patterns: 4
+	// second load: 1011111011101111
+	// second pis:  01011110
+}

@@ -3,6 +3,21 @@
 // It exists to demonstrate, with measurements rather than argument, the
 // paper's fault-coverage claims: the proposed partition masks never reduce
 // coverage (they only remove X's), while lossy masking variants do.
+//
+// In the end-to-end flow (docs/FLOW.md) this is the optional faultsim
+// stage: the same sampled fault list is simulated twice — once fully
+// observable, once under the plan's masks via the Observe predicate — and
+// the two detection counts must be equal. The equality is guaranteed by
+// construction (a mask only covers cells that capture X under every
+// pattern of its partition, and a detection requires a known fault-free
+// value), so the stage is a measurement of the invariant, not a filter.
+// Detection semantics are strict: a fault is detected only where the
+// fault-free capture is a known value that the faulty capture flips —
+// X's never count, in either direction.
+//
+// This package implements the demonstrative half of the DESIGN.md §3
+// substitution (real small-scale fault simulation in place of a commercial
+// one); §5.4 states the coverage guarantee it measures.
 package fault
 
 import (

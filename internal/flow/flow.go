@@ -12,6 +12,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 
 	"xhybrid/internal/compactor"
@@ -46,10 +47,17 @@ type Program struct {
 }
 
 // Build partitions the X-map and assembles the program. The partitioning,
-// ordering and scheduling stages are recorded on params.Obs when set.
+// ordering and scheduling stages are recorded on params.Obs when set. It is
+// BuildCtx with a background context.
 func Build(m *xmap.XMap, params core.Params, tcfg tester.Config) (*Program, error) {
+	return BuildCtx(context.Background(), m, params, tcfg)
+}
+
+// BuildCtx is Build under a context: canceling ctx stops the partitioner
+// mid-round, which is how the serving layer's /v1/flow jobs abort promptly.
+func BuildCtx(ctx context.Context, m *xmap.XMap, params core.Params, tcfg tester.Config) (*Program, error) {
 	defer params.Obs.Span("flow.build")()
-	res, err := core.Run(m, params)
+	res, err := core.RunCtx(ctx, m, params)
 	if err != nil {
 		return nil, err
 	}

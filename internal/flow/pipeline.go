@@ -1,0 +1,477 @@
+package flow
+
+// The front-to-back circuit pipeline: generate a gate-level circuit, run
+// LFSR ATPG, simulate the three-valued responses, extract the real
+// X-location map, partition it, and replay the plan through the hardware
+// models — asserting on the way that the fault-coverage-preservation
+// property holds by construction. This is the construction-grade input path
+// the synthetic workload profiles approximate; docs/FLOW.md walks through
+// every stage, cmd/flowbench drives it from the command line, and the
+// serving layer runs it as the /v1/flow job type.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"xhybrid/internal/atpg"
+	"xhybrid/internal/core"
+	"xhybrid/internal/fault"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/obs"
+	"xhybrid/internal/pool"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/sim"
+	"xhybrid/internal/tester"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xmap"
+)
+
+// Spec is the serializable description of one end-to-end flow run: the
+// circuit to generate, the stimuli to apply, and the partitioning options.
+// Equal specs produce byte-identical reports modulo stage wall times — every
+// stage is seeded and the simulation fan-out is position-indexed.
+type Spec struct {
+	// Name labels the generated circuit (default "flow").
+	Name string `json:"name,omitempty"`
+	// Cells is the scan-cell count; Chains must divide it (chainLen =
+	// Cells/Chains).
+	Cells  int `json:"cells"`
+	Chains int `json:"chains"`
+	// PIs is the primary-input count (default 8).
+	PIs int `json:"pis,omitempty"`
+	// GatesPerCell scales the combinational cloud (generator default 3.0).
+	GatesPerCell float64 `json:"gatesPerCell,omitempty"`
+	// XClusters / XFanout / EnableTaps / DropoutPerMille shape the X
+	// structure (see netlist.GenConfig).
+	XClusters       int `json:"xclusters"`
+	XFanout         int `json:"xfanout,omitempty"`
+	EnableTaps      int `json:"enableTaps,omitempty"`
+	DropoutPerMille int `json:"dropoutPerMille,omitempty"`
+	// CircuitSeed drives circuit generation; StimSeed drives the ATPG LFSR.
+	CircuitSeed int64  `json:"circuitSeed,omitempty"`
+	StimSeed    uint64 `json:"stimSeed,omitempty"`
+	// Patterns is the test-pattern count (default 256).
+	Patterns int `json:"patterns,omitempty"`
+
+	// MISRSize / Q / Strategy / Seed / MaxRounds mirror the partitioning
+	// options (defaults m=32, q=7, strategy paper). MISRSize must not exceed
+	// Chains — the spatial compactor folds chains onto the MISR inputs.
+	MISRSize  int    `json:"m,omitempty"`
+	Q         int    `json:"q,omitempty"`
+	Strategy  string `json:"strategy,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	MaxRounds int    `json:"maxRounds,omitempty"`
+	// Workers bounds the simulation and partitioning fan-out (0 = all CPUs).
+	// Reports are identical for any worker count.
+	Workers int `json:"workers,omitempty"`
+
+	// FaultSample, when positive, runs stuck-at fault simulation over that
+	// many sampled faults twice — full observability vs. the plan's masks —
+	// and asserts the coverages are equal. 0 skips the (serial, expensive)
+	// fault stage; large designs should sample tens of faults, not thousands.
+	FaultSample int   `json:"faultSample,omitempty"`
+	FaultSeed   int64 `json:"faultSeed,omitempty"`
+}
+
+// Normalize fills defaults in place.
+func (s *Spec) Normalize() {
+	if s.Name == "" {
+		s.Name = "flow"
+	}
+	if s.PIs == 0 {
+		s.PIs = 8
+	}
+	if s.Patterns == 0 {
+		s.Patterns = 256
+	}
+	if s.MISRSize == 0 {
+		s.MISRSize = 32
+	}
+	if s.Q == 0 {
+		s.Q = 7
+	}
+	if s.Strategy == "" {
+		s.Strategy = "paper"
+	}
+}
+
+// Validate rejects specs the pipeline cannot run. Call Normalize first.
+func (s *Spec) Validate() error {
+	if s.Cells < 2 {
+		return fmt.Errorf("flow: need at least 2 scan cells, got %d", s.Cells)
+	}
+	if s.Chains < 1 {
+		return fmt.Errorf("flow: need at least 1 chain, got %d", s.Chains)
+	}
+	if s.Cells%s.Chains != 0 {
+		return fmt.Errorf("flow: %d chains do not divide %d cells", s.Chains, s.Cells)
+	}
+	if s.PIs < 1 {
+		return fmt.Errorf("flow: need at least 1 primary input, got %d", s.PIs)
+	}
+	if s.Patterns < 1 {
+		return fmt.Errorf("flow: need at least 1 pattern, got %d", s.Patterns)
+	}
+	if s.MISRSize > s.Chains {
+		return fmt.Errorf("flow: %d-bit MISR wider than %d chains; pick m <= chains", s.MISRSize, s.Chains)
+	}
+	if s.FaultSample < 0 {
+		return fmt.Errorf("flow: negative fault sample %d", s.FaultSample)
+	}
+	if _, err := s.strategy(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// strategy maps the wire name onto the core enum (same vocabulary as the
+// facade's Options.Strategy).
+func (s *Spec) strategy() (core.Strategy, error) {
+	switch s.Strategy {
+	case "", "paper":
+		return core.StrategyPaper, nil
+	case "paper-random":
+		return core.StrategyPaperRandom, nil
+	case "paper-retry":
+		return core.StrategyPaperRetry, nil
+	case "greedy":
+		return core.StrategyGreedyCost, nil
+	default:
+		return 0, fmt.Errorf("flow: unknown strategy %q", s.Strategy)
+	}
+}
+
+// RunConfig carries the per-run (non-serialized) knobs of RunSpec.
+type RunConfig struct {
+	// Obs receives per-stage spans and the engine's counters; nil disables.
+	Obs *obs.Recorder
+	// CheckpointEvery / CheckpointSink / Resume thread the partitioning
+	// engine's durable-checkpoint machinery through the partition stage,
+	// exactly as for a plain partition job (see core.Params).
+	CheckpointEvery int
+	CheckpointSink  func(*core.Checkpoint) error
+	Resume          *core.Checkpoint
+	// OnStage, when set, is called with each stage's name as it starts —
+	// the /v1/flow SSE progress hook.
+	OnStage func(name string)
+}
+
+// StageTime records one pipeline stage's wall time.
+type StageTime struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
+// ReplaySummary is the hardware-model replay leg of a Report.
+type ReplaySummary struct {
+	// ObservableMasked counts known captures destroyed by masks; coverage
+	// preservation demands zero.
+	ObservableMasked int `json:"observableMasked"`
+	// MaskedX is the mask stage's measured effect (must equal the plan's
+	// accounting).
+	MaskedX int `json:"maskedX"`
+	// ResidualX is what reached the MISR after masking and compaction
+	// (compaction can fold X's, so <= the accounting residual).
+	ResidualX int `json:"residualX"`
+	// Halts / Signatures / Deficits / ControlBits summarize the canceling
+	// sessions actually run.
+	Halts       int `json:"halts"`
+	Signatures  int `json:"signatures"`
+	Deficits    int `json:"deficits"`
+	ControlBits int `json:"controlBits"`
+	// NormalizedTime is the measured shift+halt time over shift time.
+	NormalizedTime float64 `json:"normalizedTime"`
+	// FinalSignature is the end-of-test MISR signature.
+	FinalSignature uint64 `json:"finalSignature"`
+}
+
+// Coverage is the optional fault-simulation leg of a Report: the same
+// sampled fault list simulated under full observability and under the
+// plan's masks.
+type Coverage struct {
+	Faults           int     `json:"faults"`
+	BaselineDetected int     `json:"baselineDetected"`
+	HybridDetected   int     `json:"hybridDetected"`
+	Baseline         float64 `json:"baseline"`
+	Hybrid           float64 `json:"hybrid"`
+	// Preserved is BaselineDetected == HybridDetected — the paper's claim,
+	// measured.
+	Preserved bool `json:"preserved"`
+}
+
+// Report is the JSON outcome of one RunSpec: circuit and X-map statistics,
+// the plan's control-bit accounting, the replay measurements, optional
+// fault coverage, and per-stage timing. BENCH_flow.json rows are Reports.
+type Report struct {
+	Spec Spec `json:"spec"`
+
+	// Gates counts every node of the generated circuit (inputs, logic,
+	// storage); ChainLen is Cells/Chains.
+	Gates    int `json:"gates"`
+	ChainLen int `json:"chainLen"`
+
+	// XCells / TotalX / Density describe the extracted X-map; XMapDigest is
+	// the sha256 of its canonical XMAPB encoding (byte-identical for any
+	// worker count).
+	XCells     int     `json:"xCells"`
+	TotalX     int     `json:"totalX"`
+	Density    float64 `json:"density"`
+	XMapDigest string  `json:"xmapDigest"`
+
+	// Plan accounting (core.Result).
+	Partitions int `json:"partitions"`
+	Rounds     int `json:"rounds"`
+	MaskedX    int `json:"maskedX"`
+	ResidualX  int `json:"residualX"`
+	MaskBits   int `json:"maskBits"`
+	CancelBits int `json:"cancelBits"`
+	TotalBits  int `json:"totalBits"`
+	// PlannedHalts is the closed-form halt budget the schedule reserves for
+	// the accounting residual; the replayed halts must fit in it.
+	PlannedHalts int `json:"plannedHalts"`
+
+	Replay   ReplaySummary `json:"replay"`
+	Coverage *Coverage     `json:"coverage,omitempty"`
+
+	// Preserved is the composite end-to-end verdict: no observable capture
+	// masked, mask effect exactly as accounted, residual and halts within
+	// the planned schedule, and (when fault simulation ran) identical
+	// coverage with and without the masks.
+	Preserved bool `json:"preserved"`
+
+	Stages []StageTime `json:"stages"`
+}
+
+// RunSpec executes the full pipeline for the spec. The returned report is
+// deterministic apart from Stages wall times; a non-nil error means a stage
+// failed or a preservation assertion did not hold structurally (geometry or
+// pattern-count mismatches) — soft preservation verdicts land in
+// Report.Preserved instead.
+func RunSpec(ctx context.Context, spec Spec, cfg RunConfig) (*Report, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	strat, err := spec.strategy()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Spec: spec, ChainLen: spec.Cells / spec.Chains}
+	stage := func(name string) func() {
+		if cfg.OnStage != nil {
+			cfg.OnStage(name)
+		}
+		endSpan := cfg.Obs.Span("flow." + name)
+		t0 := time.Now()
+		return func() {
+			endSpan()
+			rep.Stages = append(rep.Stages, StageTime{
+				Name:   name,
+				Millis: float64(time.Since(t0)) / float64(time.Millisecond),
+			})
+		}
+	}
+
+	// Stage 1: generate the circuit.
+	end := stage("generate")
+	ckt, err := netlist.Generate(netlist.GenConfig{
+		Name:            spec.Name,
+		ScanCells:       spec.Cells,
+		PIs:             spec.PIs,
+		GatesPerCell:    spec.GatesPerCell,
+		XClusters:       spec.XClusters,
+		XFanout:         spec.XFanout,
+		EnableTaps:      spec.EnableTaps,
+		DropoutPerMille: spec.DropoutPerMille,
+		Seed:            spec.CircuitSeed,
+	})
+	end()
+	if err != nil {
+		return nil, err
+	}
+	rep.Gates = len(ckt.Gates)
+	geom := scan.MustGeometry(spec.Chains, rep.ChainLen)
+
+	// Stage 2: LFSR ATPG.
+	end = stage("atpg")
+	st := atpg.GenerateStimuli(spec.Patterns, len(ckt.ScanCells), len(ckt.PIs), spec.StimSeed)
+	end()
+
+	// Stage 3: three-valued simulation, fanned out over 64-pattern blocks.
+	end = stage("simulate")
+	set, err := simulateParallel(ctx, ckt, geom, st, spec.Workers)
+	end()
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: extract the X-map and its canonical digest.
+	end = stage("extract")
+	m := xmap.FromResponses(set)
+	digest := sha256.New()
+	err = xmap.WriteBinary(digest, m, spec.Chains, rep.ChainLen)
+	end()
+	if err != nil {
+		return nil, err
+	}
+	rep.XCells = m.NumXCells()
+	rep.TotalX = m.TotalX()
+	rep.Density = m.Density()
+	rep.XMapDigest = hex.EncodeToString(digest.Sum(nil))
+
+	// Stage 5: partition and assemble the tester program.
+	end = stage("partition")
+	mcfg, err := misr.Standard(spec.MISRSize)
+	if err != nil {
+		end()
+		return nil, err
+	}
+	prog, err := BuildCtx(ctx, m, core.Params{
+		Geom:            geom,
+		Cancel:          xcancel.Config{MISR: mcfg, Q: spec.Q},
+		Strategy:        strat,
+		Seed:            spec.Seed,
+		MaxRounds:       spec.MaxRounds,
+		Workers:         spec.Workers,
+		Obs:             cfg.Obs,
+		CheckpointEvery: cfg.CheckpointEvery,
+		CheckpointSink:  cfg.CheckpointSink,
+		Resume:          cfg.Resume,
+	}, tester.Config{Channels: spec.MISRSize, OverlapMaskLoad: true})
+	end()
+	if err != nil {
+		return nil, err
+	}
+	acct := prog.Accounting
+	rep.Partitions = len(acct.Partitions)
+	rep.Rounds = len(acct.Rounds)
+	rep.MaskedX = acct.MaskedX
+	rep.ResidualX = acct.ResidualX
+	rep.MaskBits = acct.MaskBits
+	rep.CancelBits = acct.CancelBits
+	rep.TotalBits = acct.TotalBits
+	rep.PlannedHalts = xcancel.Halts(acct.ResidualX, spec.MISRSize, spec.Q)
+
+	// Stage 6: replay the captured responses through the hardware models.
+	end = stage("replay")
+	vr, err := VerifyResponses(prog, set)
+	end()
+	if err != nil {
+		return nil, err
+	}
+	rep.Replay = ReplaySummary{
+		ObservableMasked: vr.ObservableMasked,
+		MaskedX:          vr.MaskedX,
+		ResidualX:        vr.ResidualX,
+		Halts:            vr.Halts,
+		Signatures:       vr.Signatures,
+		Deficits:         vr.Deficits,
+		ControlBits:      vr.ControlBits,
+		NormalizedTime:   vr.NormalizedTime,
+		FinalSignature:   vr.FinalSignature,
+	}
+	rep.Preserved = vr.ObservableMasked == 0 &&
+		vr.MaskedX == acct.MaskedX &&
+		vr.ResidualX <= acct.ResidualX &&
+		vr.Halts <= rep.PlannedHalts
+
+	// Stage 7 (optional): fault simulation with and without the masks.
+	if spec.FaultSample > 0 {
+		end = stage("faultsim")
+		cov, err := measureCoverage(ckt, st, prog, spec.FaultSample, spec.FaultSeed)
+		end()
+		if err != nil {
+			return nil, err
+		}
+		rep.Coverage = cov
+		rep.Preserved = rep.Preserved && cov.Preserved
+	}
+	return rep, nil
+}
+
+// simulateParallel captures every pattern's response, fanning 64-pattern
+// blocks over a worker pool. Each chunk owns a private parallel simulator
+// (the simulators carry per-instance scratch state) and writes into
+// position-indexed slots, so the assembled response set — and everything
+// derived from it — is byte-identical for any worker count.
+func simulateParallel(ctx context.Context, ckt *netlist.Circuit, geom scan.Geometry, st atpg.Stimuli, workers int) (*scan.ResponseSet, error) {
+	patterns := len(st.Loads)
+	blocks := (patterns + 63) / 64
+	blockCaps := make([][]logic.Vector, blocks)
+	p := pool.New(workers)
+	defer p.Close()
+	errs := make([]error, p.Workers())
+	p.Chunks(blocks, func(c, lo, hi int) {
+		ps := sim.NewParallel(ckt)
+		for b := lo; b < hi; b++ {
+			if ctx.Err() != nil {
+				errs[c] = ctx.Err()
+				return
+			}
+			base := b * 64
+			top := base + 64
+			if top > patterns {
+				top = patterns
+			}
+			caps, err := ps.Capture(st.Loads[base:top], st.PIs[base:top])
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			blockCaps[b] = caps
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	set := scan.NewResponseSet(geom)
+	for _, caps := range blockCaps {
+		for _, cap := range caps {
+			if err := set.Append(scan.Response{Geom: geom, Values: cap}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return set, nil
+}
+
+// measureCoverage fault-simulates a sampled fault list twice: under full
+// observability, and under the plan's masks (a cell is unobservable for a
+// pattern exactly when the mask of that pattern's partition covers it). The
+// masks only ever cover cells that capture X under every pattern of their
+// partition, and X captures never contribute to detection, so the two
+// coverages must be equal — that equality is the paper's coverage claim,
+// measured on the construction-grade input.
+func measureCoverage(ckt *netlist.Circuit, st atpg.Stimuli, prog *Program, sample int, seed int64) (*Coverage, error) {
+	faults := fault.Sample(fault.AllFaults(ckt), sample, seed)
+	baseline, err := fault.Simulate(ckt, st.Loads, st.PIs, faults, nil)
+	if err != nil {
+		return nil, err
+	}
+	partOf := make([]int, len(prog.PatternOrder))
+	for i, part := range prog.Partitions {
+		part.Patterns.ForEach(func(p int) { partOf[p] = i })
+	}
+	observe := func(pattern, cell int) bool {
+		return !prog.Partitions[partOf[pattern]].Mask.Cells.Get(cell)
+	}
+	hybrid, err := fault.Simulate(ckt, st.Loads, st.PIs, faults, observe)
+	if err != nil {
+		return nil, err
+	}
+	return &Coverage{
+		Faults:           baseline.Total,
+		BaselineDetected: baseline.Detected,
+		HybridDetected:   hybrid.Detected,
+		Baseline:         baseline.Coverage(),
+		Hybrid:           hybrid.Coverage(),
+		Preserved:        hybrid.Detected == baseline.Detected,
+	}, nil
+}

@@ -1,0 +1,219 @@
+package flow
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"xhybrid/internal/atpg"
+	"xhybrid/internal/core"
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/sim"
+	"xhybrid/internal/xmap"
+)
+
+// testSpec is the small deterministic pipeline spec the tests share: big
+// enough for real X structure and more than one 64-pattern simulation
+// block, small enough to run in well under a second.
+func testSpec() Spec {
+	return Spec{
+		Cells:       256,
+		Chains:      16,
+		XClusters:   8,
+		CircuitSeed: 5,
+		StimSeed:    9,
+		Patterns:    96,
+		MISRSize:    8,
+		Q:           2,
+		Strategy:    "greedy",
+	}
+}
+
+// goldenXMapDigest is the sha256 of testSpec's canonical XMAPB encoding.
+// It pins the whole front half of the pipeline — circuit generation, ATPG,
+// three-valued simulation and X-map extraction — to an exact artifact: any
+// unintended change to any of those stages moves this digest.
+const goldenXMapDigest = "6a4532c11fbf20a726c587792122598afc28a331f8f9fd1b44d8cdf907c6870f"
+
+func TestRunSpecEndToEnd(t *testing.T) {
+	spec := testSpec()
+	spec.FaultSample = 60
+	spec.FaultSeed = 3
+	rep, err := RunSpec(context.Background(), spec, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalX == 0 || rep.XCells == 0 {
+		t.Fatal("pipeline extracted no X's; the spec should produce X structure")
+	}
+	if !rep.Preserved {
+		t.Fatalf("end-to-end preservation verdict false: replay %+v coverage %+v", rep.Replay, rep.Coverage)
+	}
+	if rep.Replay.ObservableMasked != 0 {
+		t.Fatalf("masks destroyed %d observable captures", rep.Replay.ObservableMasked)
+	}
+	if rep.Replay.MaskedX != rep.MaskedX {
+		t.Fatalf("replayed MaskedX %d != accounting %d", rep.Replay.MaskedX, rep.MaskedX)
+	}
+	if rep.Replay.Halts > rep.PlannedHalts {
+		t.Fatalf("replayed %d halts exceed planned budget %d", rep.Replay.Halts, rep.PlannedHalts)
+	}
+	if rep.Coverage == nil {
+		t.Fatal("FaultSample > 0 but no coverage leg in the report")
+	}
+	if !rep.Coverage.Preserved || rep.Coverage.HybridDetected != rep.Coverage.BaselineDetected {
+		t.Fatalf("coverage not preserved: baseline %d, hybrid %d",
+			rep.Coverage.BaselineDetected, rep.Coverage.HybridDetected)
+	}
+	if rep.Coverage.BaselineDetected == 0 {
+		t.Fatal("fault simulation detected nothing; the coverage check is vacuous")
+	}
+	wantStages := []string{"generate", "atpg", "simulate", "extract", "partition", "replay", "faultsim"}
+	if len(rep.Stages) != len(wantStages) {
+		t.Fatalf("stages = %v, want %v", rep.Stages, wantStages)
+	}
+	for i, st := range rep.Stages {
+		if st.Name != wantStages[i] {
+			t.Fatalf("stage %d = %q, want %q", i, st.Name, wantStages[i])
+		}
+	}
+}
+
+// TestRunSpecGoldenAcrossWorkers is the determinism contract: the same spec
+// run at workers 1, 2 and 4 must extract the byte-identical XMAPB artifact
+// (same sha256 digest) and land on the identical plan and replay.
+func TestRunSpecGoldenAcrossWorkers(t *testing.T) {
+	var first *Report
+	for _, w := range []int{1, 2, 4} {
+		spec := testSpec()
+		spec.Workers = w
+		rep, err := RunSpec(context.Background(), spec, RunConfig{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if rep.XMapDigest != goldenXMapDigest {
+			t.Errorf("workers=%d X-map digest = %s, want golden %s", w, rep.XMapDigest, goldenXMapDigest)
+		}
+		if first == nil {
+			first = rep
+			continue
+		}
+		if rep.TotalBits != first.TotalBits || rep.Partitions != first.Partitions || rep.Rounds != first.Rounds {
+			t.Errorf("workers=%d plan (%d bits, %d partitions, %d rounds) diverged from workers=1 (%d, %d, %d)",
+				w, rep.TotalBits, rep.Partitions, rep.Rounds,
+				first.TotalBits, first.Partitions, first.Rounds)
+		}
+		if rep.Replay != first.Replay {
+			t.Errorf("workers=%d replay %+v diverged from workers=1 %+v", w, rep.Replay, first.Replay)
+		}
+	}
+}
+
+// TestXMapMatchesSerialSim is the property check on the extraction stage:
+// the X-map the parallel pipeline records must agree exactly, per (pattern,
+// cell), with a from-scratch scalar three-valued simulation — every
+// recorded X re-simulates as X, and no captured X goes unrecorded.
+func TestXMapMatchesSerialSim(t *testing.T) {
+	spec := testSpec()
+	spec.Normalize()
+	ckt, err := netlist.Generate(netlist.GenConfig{
+		Name: spec.Name, ScanCells: spec.Cells, PIs: spec.PIs,
+		XClusters: spec.XClusters, Seed: spec.CircuitSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := scan.MustGeometry(spec.Chains, spec.Cells/spec.Chains)
+	st := atpg.GenerateStimuli(spec.Patterns, len(ckt.ScanCells), len(ckt.PIs), spec.StimSeed)
+	set, err := simulateParallel(context.Background(), ckt, geom, st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := xmap.FromResponses(set)
+	if m.TotalX() == 0 {
+		t.Fatal("no X's extracted; the property check is vacuous")
+	}
+	ser := sim.New(ckt)
+	for p := 0; p < spec.Patterns; p++ {
+		capture, _, err := ser.Capture(st.Loads[p], st.PIs[p], sim.NoFault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cell := 0; cell < spec.Cells; cell++ {
+			serialX := capture[cell] == logic.X
+			if m.Has(p, cell) != serialX {
+				t.Fatalf("pattern %d cell %d: xmap says X=%v, scalar simulation says X=%v",
+					p, cell, m.Has(p, cell), serialX)
+			}
+		}
+	}
+}
+
+// TestRunSpecResume interrupts nothing but replays the checkpoint path: a
+// run with a checkpoint sink captures the engine's mid-flight state, and a
+// second run resumed from the first captured checkpoint must reach the
+// identical deterministic report (digest, plan, replay — never wall times).
+func TestRunSpecResume(t *testing.T) {
+	spec := testSpec()
+	var cps []*core.Checkpoint
+	full, err := RunSpec(context.Background(), spec, RunConfig{
+		CheckpointEvery: 1,
+		CheckpointSink: func(cp *core.Checkpoint) error {
+			cps = append(cps, cp)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints captured; testSpec should drive a multi-round run")
+	}
+	resumed, err := RunSpec(context.Background(), spec, RunConfig{Resume: cps[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.XMapDigest != full.XMapDigest {
+		t.Errorf("resumed digest %s != full run %s", resumed.XMapDigest, full.XMapDigest)
+	}
+	if resumed.TotalBits != full.TotalBits || resumed.Partitions != full.Partitions || resumed.Rounds != full.Rounds {
+		t.Errorf("resumed plan (%d bits, %d partitions, %d rounds) != full run (%d, %d, %d)",
+			resumed.TotalBits, resumed.Partitions, resumed.Rounds,
+			full.TotalBits, full.Partitions, full.Rounds)
+	}
+	if resumed.Replay != full.Replay {
+		t.Errorf("resumed replay %+v != full run %+v", resumed.Replay, full.Replay)
+	}
+}
+
+func TestRunSpecValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"too few cells", func(s *Spec) { s.Cells = 1 }},
+		{"chains do not divide cells", func(s *Spec) { s.Chains = 7 }},
+		{"misr wider than chains", func(s *Spec) { s.MISRSize = 64 }},
+		{"unknown strategy", func(s *Spec) { s.Strategy = "divine" }},
+		{"negative fault sample", func(s *Spec) { s.FaultSample = -1 }},
+	}
+	for _, tc := range cases {
+		spec := testSpec()
+		tc.mutate(&spec)
+		if _, err := RunSpec(context.Background(), spec, RunConfig{}); err == nil {
+			t.Errorf("%s: RunSpec accepted the spec", tc.name)
+		} else if !strings.HasPrefix(err.Error(), "flow:") {
+			t.Errorf("%s: error %q does not carry the flow: prefix", tc.name, err)
+		}
+	}
+}
+
+func TestRunSpecCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSpec(ctx, testSpec(), RunConfig{}); err == nil {
+		t.Fatal("RunSpec ignored a canceled context")
+	}
+}

@@ -53,6 +53,19 @@ const (
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
 
+// Job kinds (Meta.Kind).
+const (
+	// KindPartition is the classic job: partition a spooled X-map into a
+	// plan. The zero value, so every pre-existing spool record decodes to
+	// it.
+	KindPartition = ""
+	// KindFlow runs the full circuit pipeline (generate → ATPG → simulate →
+	// extract → partition → replay) from a spooled FlowSpec. The partition
+	// stage checkpoints and resumes exactly like a KindPartition job; the
+	// earlier stages are re-derived from the spec's seeds on resume.
+	KindFlow = "flow"
+)
+
 // Sentinel errors; match with errors.Is.
 var (
 	// ErrNotFound reports an unknown job id.
@@ -115,6 +128,10 @@ func (o Options) xhybrid() xhybrid.Options {
 // Rounds always reports the durable attempt-trace length from the last
 // checkpoint.
 type Progress struct {
+	// Stage names the pipeline stage a flow job is currently in (generate,
+	// atpg, simulate, extract, partition, replay, faultsim); empty for
+	// partition jobs and idle flow jobs.
+	Stage string `json:"stage,omitempty"`
 	// Rounds is the attempt-trace length at the last checkpoint.
 	Rounds int64 `json:"rounds"`
 	// LiveRounds / LiveAccepted count rounds attempted/accepted since this
@@ -177,6 +194,14 @@ type jobHandle struct {
 	rounds       atomic.Int64 // durable trace length at last checkpoint
 	checkpoints  atomic.Int64
 	userCanceled atomic.Bool
+	stage        atomic.Value // string: current flow stage name
+}
+
+func (h *jobHandle) setStage(name string) { h.stage.Store(name) }
+
+func (h *jobHandle) currentStage() string {
+	s, _ := h.stage.Load().(string)
+	return s
 }
 
 // Manager runs spooled jobs on a bounded pool. Open recovers unfinished
@@ -288,6 +313,37 @@ func (m *Manager) SubmitTenant(ctx context.Context, x *xhybrid.XLocations, opts 
 	return meta, nil
 }
 
+// SubmitFlow spools a new end-to-end flow job (KindFlow) and enqueues it.
+// The spec is normalized and validated before anything touches disk, so a
+// bad spec fails synchronously (the serving layer clamps spec.Workers
+// before calling here).
+func (m *Manager) SubmitFlow(ctx context.Context, spec xhybrid.FlowSpec, tenant string) (Meta, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return Meta{}, err
+	}
+	meta := Meta{
+		ID:      newID(),
+		Kind:    KindFlow,
+		State:   StateSubmitted,
+		Options: Options{Workers: spec.Workers, CheckpointEvery: m.cfg.CheckpointEvery},
+		Created: time.Now().UTC(),
+		Tenant:  tenant,
+	}
+	if err := m.store.CreateFlowJob(ctx, meta, &spec); err != nil {
+		return Meta{}, err
+	}
+	if !m.enqueue(meta, false) {
+		meta.State = StateFailed
+		meta.Error = ErrQueueFull.Error()
+		meta.Finished = time.Now().UTC()
+		_ = m.store.WriteMeta(context.Background(), meta)
+		return Meta{}, ErrQueueFull
+	}
+	m.submitted.Inc()
+	return meta, nil
+}
+
 // enqueue registers the job and starts its goroutine. force bypasses the
 // waiting cap (recovery).
 func (m *Manager) enqueue(meta Meta, force bool) bool {
@@ -329,6 +385,10 @@ func (m *Manager) run(ctx context.Context, meta Meta, h *jobHandle) {
 		m.finish(meta, h, nil, err)
 		return
 	}
+	if meta.Kind == KindFlow {
+		m.runFlow(ctx, meta, h)
+		return
+	}
 	x, err := m.store.ReadInput(ctx, meta.ID)
 	if err != nil {
 		m.finish(meta, h, nil, err)
@@ -339,26 +399,13 @@ func (m *Manager) run(ctx context.Context, meta Meta, h *jobHandle) {
 	// checkpoint that fails decode never appears here; one that fails
 	// replay verification is rejected by the engine and the next rung is
 	// tried.
-	resumes := m.store.ReadCheckpoints(ctx, meta.ID)
-	attempts := make([]*xhybrid.Checkpoint, 0, len(resumes)+1)
-	attempts = append(attempts, resumes...)
-	attempts = append(attempts, nil)
-
 	var plan *xhybrid.Plan
-	for _, cp := range attempts {
+	for _, cp := range m.resumeLadder(ctx, meta.ID) {
 		opt := meta.Options.xhybrid()
 		opt.Stats = h.rec
 		opt.CheckpointEvery = meta.Options.CheckpointEvery
 		opt.Resume = cp
-		opt.CheckpointSink = func(c *xhybrid.Checkpoint) error {
-			if err := m.store.WriteCheckpoint(ctx, meta.ID, c); err != nil {
-				return err
-			}
-			h.rounds.Store(int64(len(c.Rounds)))
-			h.checkpoints.Add(1)
-			m.cpWritten.Inc()
-			return nil
-		}
+		opt.CheckpointSink = m.checkpointSink(ctx, meta.ID, h)
 		plan, err = xhybrid.PartitionCtx(ctx, x, opt)
 		if errors.Is(err, xhybrid.ErrCheckpointMismatch) {
 			m.cpRejected.Inc()
@@ -366,19 +413,78 @@ func (m *Manager) run(ctx context.Context, meta Meta, h *jobHandle) {
 		}
 		break
 	}
-	m.finish(meta, h, plan, err)
+	m.finish(meta, h, func() error {
+		return m.store.WriteResult(context.Background(), meta.ID, plan)
+	}, err)
+}
+
+// runFlow drives a KindFlow job: the spooled spec is re-run front to back,
+// with the partition stage checkpointing through the same spool machinery
+// as a plain partition job. On resume the deterministic pre-partition
+// stages (generate/ATPG/simulate/extract) are re-derived from the spec's
+// seeds — they are pure functions of it — and the partitioner continues
+// from the checkpointed trace, falling down the same cur → prev → scratch
+// ladder on mismatch.
+func (m *Manager) runFlow(ctx context.Context, meta Meta, h *jobHandle) {
+	spec, err := m.store.ReadFlowSpec(ctx, meta.ID)
+	if err != nil {
+		m.finish(meta, h, nil, err)
+		return
+	}
+	var rep *xhybrid.FlowReport
+	for _, cp := range m.resumeLadder(ctx, meta.ID) {
+		rep, err = xhybrid.RunFlowCtx(ctx, *spec, xhybrid.FlowRunConfig{
+			Obs:             h.rec,
+			CheckpointEvery: meta.Options.CheckpointEvery,
+			CheckpointSink:  m.checkpointSink(ctx, meta.ID, h),
+			Resume:          cp,
+			OnStage:         h.setStage,
+		})
+		if errors.Is(err, xhybrid.ErrCheckpointMismatch) {
+			m.cpRejected.Inc()
+			continue
+		}
+		break
+	}
+	m.finish(meta, h, func() error {
+		return m.store.WriteFlowResult(context.Background(), meta.ID, rep)
+	}, err)
+}
+
+// resumeLadder returns the resume attempts for a job, newest checkpoint
+// first and a from-scratch nil last.
+func (m *Manager) resumeLadder(ctx context.Context, id string) []*xhybrid.Checkpoint {
+	resumes := m.store.ReadCheckpoints(ctx, id)
+	attempts := make([]*xhybrid.Checkpoint, 0, len(resumes)+1)
+	attempts = append(attempts, resumes...)
+	return append(attempts, nil)
+}
+
+// checkpointSink returns the engine sink that spools each checkpoint and
+// advances the handle's durable progress counters.
+func (m *Manager) checkpointSink(ctx context.Context, id string, h *jobHandle) func(*xhybrid.Checkpoint) error {
+	return func(c *xhybrid.Checkpoint) error {
+		if err := m.store.WriteCheckpoint(ctx, id, c); err != nil {
+			return err
+		}
+		h.rounds.Store(int64(len(c.Rounds)))
+		h.checkpoints.Add(1)
+		m.cpWritten.Inc()
+		return nil
+	}
 }
 
 // finish writes the job's terminal state — or, when the whole manager is
 // shutting down, leaves the spooled "running" record alone so the next
-// Open resumes the job. Terminal writes use a background context: the
-// job's own context is typically already dead here.
-func (m *Manager) finish(meta Meta, h *jobHandle, plan *xhybrid.Plan, err error) {
+// Open resumes the job. persist spools the kind-specific result (only
+// called when the job succeeded). Terminal writes use a background
+// context: the job's own context is typically already dead here.
+func (m *Manager) finish(meta Meta, h *jobHandle, persist func() error, err error) {
 	defer m.release(meta.ID)
 	meta.Rounds = int(h.rounds.Load())
 	switch {
 	case err == nil:
-		if werr := m.store.WriteResult(context.Background(), meta.ID, plan); werr != nil {
+		if werr := persist(); werr != nil {
 			err = werr
 			break
 		}
@@ -444,6 +550,7 @@ func (m *Manager) Get(ctx context.Context, id string) (Status, error) {
 	st := Status{Meta: meta, Progress: Progress{Rounds: int64(meta.Rounds)}}
 	if h := m.handle(id); h != nil {
 		snap := h.rec.Snapshot()
+		st.Progress.Stage = h.currentStage()
 		st.Progress.Rounds = h.rounds.Load()
 		st.Progress.LiveRounds = snap.CounterValue("core.rounds")
 		st.Progress.LiveAccepted = snap.CounterValue("core.rounds.accepted")
@@ -469,21 +576,42 @@ func (m *Manager) List(ctx context.Context) ([]Status, error) {
 	return out, nil
 }
 
-// Result returns the finished plan, or ErrNotDone with the job's current
-// state while it is still in flight (and the failure cause for failed
-// jobs).
+// Result returns a partition job's finished plan, or ErrNotDone with the
+// job's current state while it is still in flight (and the failure cause
+// for failed jobs). Flow jobs answer through FlowResult.
 func (m *Manager) Result(ctx context.Context, id string) (*xhybrid.Plan, error) {
+	if _, err := m.resultMeta(ctx, id, KindPartition); err != nil {
+		return nil, err
+	}
+	return m.store.ReadResult(ctx, id)
+}
+
+// FlowResult returns a flow job's finished report (the KindFlow analogue
+// of Result).
+func (m *Manager) FlowResult(ctx context.Context, id string) (*xhybrid.FlowReport, error) {
+	if _, err := m.resultMeta(ctx, id, KindFlow); err != nil {
+		return nil, err
+	}
+	return m.store.ReadFlowResult(ctx, id)
+}
+
+// resultMeta loads the job record and checks it is done and of the wanted
+// kind.
+func (m *Manager) resultMeta(ctx context.Context, id, kind string) (Meta, error) {
 	meta, err := m.store.ReadMeta(ctx, id)
 	if err != nil {
-		return nil, err
+		return meta, err
+	}
+	if meta.Kind != kind {
+		return meta, fmt.Errorf("%w: job kind %q", ErrNotDone, meta.Kind)
 	}
 	switch meta.State {
 	case StateDone:
-		return m.store.ReadResult(ctx, id)
+		return meta, nil
 	case StateFailed:
-		return nil, fmt.Errorf("%w: job failed: %s", ErrNotDone, meta.Error)
+		return meta, fmt.Errorf("%w: job failed: %s", ErrNotDone, meta.Error)
 	default:
-		return nil, fmt.Errorf("%w: job is %s", ErrNotDone, meta.State)
+		return meta, fmt.Errorf("%w: job is %s", ErrNotDone, meta.State)
 	}
 }
 

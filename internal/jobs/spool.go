@@ -35,7 +35,12 @@ const (
 
 // Meta is the durable record of one job (spooled as job.json).
 type Meta struct {
-	ID      string  `json:"id"`
+	ID string `json:"id"`
+	// Kind discriminates the job type: "" (KindPartition) runs the plain
+	// partitioner over a spooled X-map; KindFlow runs the full circuit
+	// pipeline over a spooled FlowSpec. The spool layout is identical —
+	// input.json and result.json just hold kind-specific payloads.
+	Kind    string  `json:"kind,omitempty"`
 	State   State   `json:"state"`
 	Options Options `json:"options"`
 
@@ -155,6 +160,63 @@ func (s *Store) ReadInput(ctx context.Context, id string) (*xhybrid.XLocations, 
 		return err
 	})
 	return x, err
+}
+
+// CreateFlowJob spools a fresh flow job: its directory, the flow spec (as
+// input.json) and metadata.
+func (s *Store) CreateFlowJob(ctx context.Context, meta Meta, spec *xhybrid.FlowSpec) error {
+	if err := s.retry(ctx, func() error { return s.fs.MkdirAll(filepath.Join(s.dir, meta.ID), 0o755) }); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := s.writeAtomic(ctx, s.path(meta.ID, inputFile), data); err != nil {
+		return err
+	}
+	return s.WriteMeta(ctx, meta)
+}
+
+// ReadFlowSpec loads a flow job's spooled spec.
+func (s *Store) ReadFlowSpec(ctx context.Context, id string) (*xhybrid.FlowSpec, error) {
+	spec := new(xhybrid.FlowSpec)
+	err := s.retry(ctx, func() error {
+		data, err := s.fs.ReadFile(s.path(id, inputFile))
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(data, spec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// WriteFlowResult persists a finished flow report.
+func (s *Store) WriteFlowResult(ctx context.Context, id string, rep *xhybrid.FlowReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(ctx, s.path(id, resultFile), data)
+}
+
+// ReadFlowResult loads a finished flow report.
+func (s *Store) ReadFlowResult(ctx context.Context, id string) (*xhybrid.FlowReport, error) {
+	rep := new(xhybrid.FlowReport)
+	err := s.retry(ctx, func() error {
+		data, err := s.fs.ReadFile(s.path(id, resultFile))
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(data, rep)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // WriteCheckpoint rotates the current checkpoint to the .prev slot and

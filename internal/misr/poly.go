@@ -4,6 +4,19 @@
 // combination of injected input symbols. The symbolic form is the basis of
 // the X-canceling methodology: the X-dependence part of the symbolic state
 // feeds Gaussian elimination to find X-free signature combinations.
+//
+// In the end-to-end flow (docs/FLOW.md) a MISR Config is the compaction
+// half of the partition stage's parameters (misr.Standard(m), with m no
+// wider than the chain count) and the concrete simulator is the replay
+// stage's signature register. The concrete and symbolic simulators step
+// the same companion-matrix update, so a signature predicted symbolically
+// equals the one the concrete register accumulates over the same inputs —
+// the agreement the X-canceling halt schedule depends on. Standard sizes
+// use primitive characteristic polynomials (maximal state cycle, minimal
+// structured aliasing); p_0 = 1 keeps the update nonsingular.
+//
+// This package implements DESIGN.md §5.3 (the symbolic MISR the session
+// algebra is built on) and the Figure 2 fixture of §4.
 package misr
 
 import "fmt"

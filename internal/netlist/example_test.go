@@ -1,0 +1,31 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"xhybrid/internal/netlist"
+)
+
+// ExampleGenerate builds a small seeded circuit with clustered X sources —
+// the first stage of the end-to-end flow (docs/FLOW.md). Equal GenConfigs
+// generate identical circuits, which is what lets a crashed flow job
+// re-derive its circuit from the spooled spec instead of spooling gates.
+func ExampleGenerate() {
+	ckt, err := netlist.Generate(netlist.GenConfig{
+		Name:      "example",
+		ScanCells: 64,
+		PIs:       8,
+		XClusters: 4, // 4 uninitialized elements, each reaching 4 scan cells
+		Seed:      7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scan cells: %d\n", len(ckt.ScanCells))
+	fmt.Printf("primary inputs: %d\n", len(ckt.PIs))
+	fmt.Printf("total nodes: %d\n", len(ckt.Gates))
+	// Output:
+	// scan cells: 64
+	// primary inputs: 8
+	// total nodes: 293
+}

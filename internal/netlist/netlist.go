@@ -3,6 +3,23 @@
 // the paper names (uninitialized memory elements, floating tri-states, bus
 // contention). Circuits are built with a Builder, validated, levelized for
 // simulation, and can be generated randomly with controllable X structure.
+//
+// In the end-to-end flow (docs/FLOW.md) Generate is the first stage: it is
+// the source of every X the rest of the pipeline masks or cancels.
+// GenConfig's knobs shape the X structure the way the paper observes it in
+// industrial designs (clustered, inter-correlated): each cluster is one
+// non-scan storage element fanned out to XFanout scan cells behind a
+// shared enable, so the cluster's cells capture X on the same patterns —
+// the correlation Algorithm 1 exploits — while DropoutPerMille adds
+// per-cell blocking to keep the overlap imperfect. Generation is a pure
+// function of GenConfig (seeded PRNG, no global state), which the flow
+// relies on to re-derive a spooled job's circuit on resume. Finalized
+// circuits are immutable and levelized; gate IDs are dense and
+// levelization-ordered, so simulators evaluate in one forward sweep.
+//
+// See DESIGN.md §3 for the substitution argument (generated circuits in
+// place of the paper's proprietary designs) and §5.1 for the chain-major
+// cell indexing the scan geometry imposes on generated scan cells.
 package netlist
 
 import (

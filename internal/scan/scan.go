@@ -6,6 +6,17 @@
 // Conventions: cells are indexed chain-major, cell = chain*ChainLen + pos.
 // During unload, position 0 of every chain exits first, so shift cycle t
 // presents the slice {(chain, t) : chain = 0..Chains-1} to the compactor.
+//
+// In the end-to-end flow (docs/FLOW.md) a Geometry is the contract every
+// stage shares: simulation captures are appended to a ResponseSet under
+// it, the X-map indexes cells by its chain-major flattening, the
+// partitioner prices mask images as Cells() bits, and the replay shifts
+// responses out by its unload schedule. Chains are equal-length by
+// construction (NewGeometry rejects anything else) — the paper's
+// control-bit accounting multiplies "longest scan chain length" by "number
+// of scan chains", which is exact only on rectangular geometries; see
+// DESIGN.md §3 for the geometry derived from the paper's own numbers and
+// §5.1 for the cell-indexing convention the X-map inherits.
 package scan
 
 import (

@@ -28,9 +28,12 @@ import (
 )
 
 // progressKey is the change-detection fingerprint of a job snapshot: a new
-// event is emitted only when one of these moved.
+// event is emitted only when one of these moved. stage makes every flow
+// pipeline stage transition (generate → atpg → simulate → …) its own
+// progress event even when no partitioning round has run yet.
 type progressKey struct {
 	state       jobs.State
+	stage       string
 	rounds      int64
 	liveRounds  int64
 	checkpoints int64
@@ -39,6 +42,7 @@ type progressKey struct {
 func keyOf(st jobs.Status) progressKey {
 	return progressKey{
 		state:       st.State,
+		stage:       st.Progress.Stage,
 		rounds:      st.Progress.Rounds,
 		liveRounds:  st.Progress.LiveRounds,
 		checkpoints: st.Progress.Checkpoints,

@@ -8,18 +8,25 @@ package server
 // HTTP skin over internal/jobs.
 //
 //	POST   /v1/jobs             submit (body + query options)  -> 202 + record
+//	POST   /v1/flow             submit an end-to-end flow job (JSON FlowSpec body)
 //	GET    /v1/jobs             list every spooled job
 //	GET    /v1/jobs/{id}        status + live progress
-//	GET    /v1/jobs/{id}/result finished plan (format=json|text)
+//	GET    /v1/jobs/{id}/result finished plan or flow report (format=json|text)
 //	GET    /v1/jobs/{id}/events live progress stream (SSE; events.go)
 //	DELETE /v1/jobs/{id}        cancel (idempotent)
+//
+// A flow job shares the job lifecycle end to end — same spool, same
+// checkpoint/resume drill, same status/result/events/cancel endpoints —
+// only submission and the result payload differ by kind.
 
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
+	"xhybrid"
 	"xhybrid/internal/jobs"
 )
 
@@ -128,6 +135,57 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.writeJob(w, http.StatusAccepted, jobs.Status{Meta: meta})
 }
 
+// handleFlowSubmit spools a posted FlowSpec as an async flow job and
+// answers 202 with the job record. The body is the JSON spec; the workers
+// query parameter (clamped to the server ceiling) overrides the spec's
+// worker budget.
+func (s *Server) handleFlowSubmit(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Inc()
+	ten, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
+	s.tenantCounter(ten, "requests").Inc()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	workers := 0
+	if v := r.URL.Query().Get("workers"); v != "" {
+		var err error
+		if workers, err = strconv.Atoi(v); err != nil || workers < 0 {
+			s.badReq.Inc()
+			s.errorJSON(w, http.StatusBadRequest, errors.New("server: bad workers="+v))
+			return
+		}
+	}
+	var spec xhybrid.FlowSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.badReq.Inc()
+		s.errorJSON(w, bodyErrStatus(err), fmt.Errorf("server: flow spec: %w", err))
+		return
+	}
+	if workers > 0 {
+		spec.Workers = workers
+	}
+	spec.Workers = s.clampWorkers(spec.Workers)
+	tenantID := ""
+	if ten != anonTenant {
+		tenantID = ten.ID
+	}
+	meta, err := s.cfg.Jobs.SubmitFlow(r.Context(), spec, tenantID)
+	if err != nil {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			s.jobErr(w, err)
+			return
+		}
+		s.badReq.Inc()
+		s.errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+meta.ID)
+	s.writeJob(w, http.StatusAccepted, jobs.Status{Meta: meta})
+}
+
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Inc()
 	if _, ok := s.authorize(w, r); !ok {
@@ -161,9 +219,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	s.writeJob(w, http.StatusOK, st)
 }
 
-// handleJobResult returns the finished plan. format=text renders through
-// the same Plan.WriteText as the CLI and the synchronous endpoint, against
-// the job's spooled input — byte-identical output across all three paths.
+// handleJobResult returns the finished result. Partition jobs answer with
+// the plan — format=text renders through the same Plan.WriteText as the
+// CLI and the synchronous endpoint, against the job's spooled input, so
+// the output is byte-identical across all three paths. Flow jobs answer
+// with the flow report (JSON only).
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Inc()
 	if _, ok := s.authorize(w, r); !ok {
@@ -174,6 +234,28 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.badReq.Inc()
 		s.errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	meta, err := s.cfg.Jobs.Get(r.Context(), id)
+	if err != nil {
+		s.jobErr(w, err)
+		return
+	}
+	if meta.Kind == jobs.KindFlow {
+		if ro.format == "text" {
+			s.badReq.Inc()
+			s.errorJSON(w, http.StatusBadRequest, errors.New("server: flow results are JSON only"))
+			return
+		}
+		rep, err := s.cfg.Jobs.FlowResult(r.Context(), id)
+		if err != nil {
+			s.jobErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
 		return
 	}
 	plan, err := s.cfg.Jobs.Result(r.Context(), id)

@@ -159,6 +159,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/partition", s.handlePartition)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	if cfg.Jobs != nil {
+		mux.HandleFunc("POST /v1/flow", s.handleFlowSubmit)
 		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)

@@ -4,6 +4,21 @@
 // producing X's), and capture the next-state values back into the scan
 // cells. A 64-way parallel-pattern simulator accelerates fault-free
 // response generation.
+//
+// In the end-to-end flow (docs/FLOW.md) this is the simulate stage: the
+// captured responses are where the X's actually come from — every X in the
+// extracted X-map traces back to an uninitialized storage element, floating
+// tri-state or bus conflict propagating through this simulator's gate
+// evaluation. The scalar Simulator and the 64-way PSim agree bit-for-bit
+// on every (pattern, cell) capture (TestParallelMatchesScalar, and the
+// flow's X-map property test re-checks the equivalence end to end), so the
+// parallel fan-out never changes what the partitioner sees. Simulators
+// carry per-instance scratch state and are not safe for concurrent use;
+// parallel callers give each worker its own instance.
+//
+// This package implements the fault-free half of the DESIGN.md §3
+// substitution for the paper's commercial fault simulator; §5.1 describes
+// the X-map the captures feed.
 package sim
 
 import (

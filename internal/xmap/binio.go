@@ -1,0 +1,83 @@
+package xmap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary X-location wire format ("XMAPB", version 1). The encoder lives
+// here, next to the map it serializes, so both the public facade
+// (xhybrid.XLocations.WriteBinary) and the in-repo circuit flow
+// (internal/flow, which digests extracted maps) share one canonical byte
+// stream; the streaming decoder stays in the root package where the
+// XLocations type it builds is defined. See binio.go at the repo root for
+// the full format grammar.
+const (
+	// BinMagic is the 5-byte stream prefix.
+	BinMagic = "XMAPB"
+	// BinVersion is the current format version byte.
+	BinVersion = 1
+)
+
+// WriteBinary serializes the map in the compact binary wire format for a
+// design with the given scan geometry (chains × chainLen must equal
+// m.Cells()). The encoding is canonical: equal maps produce byte-identical
+// output regardless of build order — XCells is always ascending and gaps
+// are derived from it — which is what lets the serving layer use the bytes
+// as a cache key and the flow tests assert worker-count independence.
+func WriteBinary(w io.Writer, m *XMap, chains, chainLen int) error {
+	if chains*chainLen != m.Cells() {
+		return fmt.Errorf("xmap: geometry %dx%d does not cover %d cells", chains, chainLen, m.Cells())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(BinMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(BinVersion); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUv := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	cells := m.XCells()
+	for _, v := range [...]uint64{
+		uint64(chains), uint64(chainLen),
+		uint64(m.Patterns()), uint64(len(cells)),
+	} {
+		if err := writeUv(v); err != nil {
+			return err
+		}
+	}
+	prevCell := -1
+	for _, c := range cells {
+		gap := c.Cell // first record: absolute
+		if prevCell >= 0 {
+			gap = c.Cell - prevCell
+		}
+		if err := writeUv(uint64(gap)); err != nil {
+			return err
+		}
+		prevCell = c.Cell
+		ps := c.Patterns.Indices()
+		if err := writeUv(uint64(len(ps))); err != nil {
+			return err
+		}
+		prevP := -1
+		for _, p := range ps {
+			gap := p
+			if prevP >= 0 {
+				gap = p - prevP
+			}
+			if err := writeUv(uint64(gap)); err != nil {
+				return err
+			}
+			prevP = p
+		}
+	}
+	return bw.Flush()
+}
