@@ -10,6 +10,7 @@ package xhybrid
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -349,8 +350,8 @@ func BenchmarkParallelSim(b *testing.B) {
 	}
 }
 
-// BenchmarkFaultSimulation compares the three fault-simulation engines on
-// the same workload.
+// BenchmarkFaultSimulation compares the serial reference simulator with the
+// production PPSFP engine on the same workload.
 func BenchmarkFaultSimulation(b *testing.B) {
 	c, loads, pis := benchCircuit(b)
 	faults := fault.Sample(fault.AllFaults(c), 64, 3)
@@ -359,8 +360,13 @@ func BenchmarkFaultSimulation(b *testing.B) {
 		run  func() (*fault.Result, error)
 	}{
 		{"serial", func() (*fault.Result, error) { return fault.Simulate(c, loads, pis, faults, nil) }},
-		{"incremental", func() (*fault.Result, error) { return fault.SimulateIncremental(c, loads, pis, faults, nil) }},
-		{"parallel", func() (*fault.Result, error) { return fault.SimulateParallel(c, loads, pis, faults, nil) }},
+		{"ppsfp", func() (*fault.Result, error) {
+			res, err := fault.SimulatePPSFP(context.Background(), c, loads, pis, faults, []fault.Observe{nil}, fault.PPSFPOptions{})
+			if err != nil {
+				return nil, err
+			}
+			return res[0], nil
+		}},
 	}
 	for _, e := range engines {
 		e := e

@@ -49,8 +49,10 @@ func main() {
 	seed := flag.Int64("seed", 0, "partitioning seed (paper-random)")
 	rounds := flag.Int("rounds", 0, "max accepted partitioning rounds (0 = unlimited)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
-	faults := flag.Int("faults", 0, "stuck-at faults to sample for the coverage check (0 = skip)")
+	faults := flag.Int("faults", 0, "collapsed stuck-at faults to sample for the coverage check (0 = skip)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault sampling seed")
+	faultFull := flag.Bool("fault-full", false, "simulate the entire collapsed fault list (overrides -faults)")
+	faultWorkers := flag.Int("fault-workers", 0, "faultsim worker goroutines (0 = inherit -workers)")
 	sweep := flag.String("sweep", "", "comma-separated worker counts; run each and emit a JSON array")
 	out := flag.String("o", "", "write the JSON report here instead of stdout")
 	stats := flag.Bool("stats", false, "print the stage breakdown to stderr")
@@ -76,6 +78,8 @@ func main() {
 		Workers:         *workers,
 		FaultSample:     *faults,
 		FaultSeed:       *faultSeed,
+		FaultFull:       *faultFull,
+		FaultWorkers:    *faultWorkers,
 	}
 
 	var result any
@@ -104,6 +108,17 @@ func main() {
 					die(fmt.Errorf("workers=%d plan (%d bits, %d partitions, %d rounds) diverged from workers=%d (%d, %d, %d)",
 						w, rep.TotalBits, rep.Partitions, rep.Rounds,
 						first.Spec.Workers, first.TotalBits, first.Partitions, first.Rounds))
+				}
+				// Faultsim determinism: with -fault-workers 0 the faultsim
+				// fan-out inherits the swept worker count, so identical
+				// Coverage legs here mean the PPSFP engine is worker-count
+				// invariant, not just the plan.
+				if (rep.Coverage == nil) != (first.Coverage == nil) {
+					die(fmt.Errorf("workers=%d coverage leg presence diverged from workers=%d", w, first.Spec.Workers))
+				}
+				if rep.Coverage != nil && *rep.Coverage != *first.Coverage {
+					die(fmt.Errorf("workers=%d faultsim coverage %+v diverged from workers=%d %+v",
+						w, *rep.Coverage, first.Spec.Workers, *first.Coverage))
 				}
 			}
 			preserved = preserved && rep.Preserved
@@ -146,6 +161,11 @@ func run(spec xhybrid.FlowSpec, stats bool) *xhybrid.FlowReport {
 		"flowbench: %d cells, %d gates, %d patterns -> %d X's in %d cells (%.4f%%), %d partitions, %d total bits, preserved=%v, %.0f ms\n",
 		rep.Spec.Cells, rep.Gates, rep.Spec.Patterns, rep.TotalX, rep.XCells,
 		100*rep.Density, rep.Partitions, rep.TotalBits, rep.Preserved, wall)
+	if cov := rep.Coverage; cov != nil {
+		fmt.Fprintf(os.Stderr,
+			"flowbench: faultsim: %d of %d classes (%d faults), baseline %d vs hybrid %d detected, preserved=%v\n",
+			cov.Faults, cov.Classes, cov.AllFaults, cov.BaselineDetected, cov.HybridDetected, cov.Preserved)
+	}
 	if stats {
 		_ = rec.Snapshot().WriteText(os.Stderr)
 	}

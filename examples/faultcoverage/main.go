@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -74,24 +75,20 @@ func main() {
 	lossyParts, lost := lossyMasks(xm, res, *lossyFrac)
 	fmt.Printf("lossy threshold mask (frac=%.2f): destroys %d observable captures\n", *lossyFrac, lost)
 
-	// The same LFSR stimuli the responses came from.
+	// The same LFSR stimuli the responses came from. One PPSFP pass scores
+	// all three observability predicates from the same faulty captures.
 	st := atpg.GenerateStimuli(*patterns, len(ckt.ScanCells), len(ckt.PIs), uint64(*seed))
 	faults := fault.Sample(fault.AllFaults(ckt), *nFaults, *seed)
+	names := []string{"full (no compaction)", "proposed hybrid masks", "lossy threshold masks"}
+	preds := []fault.Observe{nil, proposed, maskObserver(lossyParts)}
+	results, err := fault.SimulatePPSFP(context.Background(), ckt, st.Loads, st.PIs, faults, preds, fault.PPSFPOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	tab := report.New("\nstuck-at coverage", "Observation", "Detected", "Coverage")
-	for _, tc := range []struct {
-		name string
-		obs  fault.Observe
-	}{
-		{"full (no compaction)", nil},
-		{"proposed hybrid masks", proposed},
-		{"lossy threshold masks", maskObserver(lossyParts)},
-	} {
-		r, err := fault.Simulate(ckt, st.Loads, st.PIs, faults, tc.obs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tab.Row(tc.name, fmt.Sprintf("%d/%d", r.Detected, r.Total), report.Percent(r.Coverage()))
+	for i, r := range results {
+		tab.Row(names[i], fmt.Sprintf("%d/%d", r.Detected, r.Total), report.Percent(r.Coverage()))
 	}
 	fmt.Println(tab)
 	fmt.Println("the proposed masks only remove X's, so coverage matches full observation;")

@@ -70,12 +70,19 @@ type Spec struct {
 	// Reports are identical for any worker count.
 	Workers int `json:"workers,omitempty"`
 
-	// FaultSample, when positive, runs stuck-at fault simulation over that
-	// many sampled faults twice — full observability vs. the plan's masks —
-	// and asserts the coverages are equal. 0 skips the (serial, expensive)
-	// fault stage; large designs should sample tens of faults, not thousands.
+	// FaultSample, when positive, runs PPSFP stuck-at fault simulation over
+	// that many faults sampled from the collapsed (equivalence-class
+	// representative) fault list, evaluating full observability and the
+	// plan's masks in one pass and asserting the coverages are equal.
+	// 0 skips the fault stage unless FaultFull is set.
 	FaultSample int   `json:"faultSample,omitempty"`
 	FaultSeed   int64 `json:"faultSeed,omitempty"`
+	// FaultFull simulates the entire collapsed fault list, ignoring
+	// FaultSample — the exhaustive coverage check.
+	FaultFull bool `json:"faultFull,omitempty"`
+	// FaultWorkers bounds the fault-parallel fan-out of the faultsim stage
+	// (0 = inherit Workers). Coverage is byte-identical at any worker count.
+	FaultWorkers int `json:"faultWorkers,omitempty"`
 }
 
 // Normalize fills defaults in place.
@@ -123,6 +130,9 @@ func (s *Spec) Validate() error {
 	if s.FaultSample < 0 {
 		return fmt.Errorf("flow: negative fault sample %d", s.FaultSample)
 	}
+	if s.FaultWorkers < 0 {
+		return fmt.Errorf("flow: negative fault workers %d", s.FaultWorkers)
+	}
 	if _, err := s.strategy(); err != nil {
 		return err
 	}
@@ -157,7 +167,10 @@ type RunConfig struct {
 	CheckpointSink  func(*core.Checkpoint) error
 	Resume          *core.Checkpoint
 	// OnStage, when set, is called with each stage's name as it starts —
-	// the /v1/flow SSE progress hook.
+	// the /v1/flow SSE progress hook. During the faultsim stage it is also
+	// called with per-batch "faultsim done/total" progress strings, possibly
+	// concurrently from several fault workers; implementations must be safe
+	// for that (the jobs layer's atomic stage store is).
 	OnStage func(name string)
 }
 
@@ -190,10 +203,16 @@ type ReplaySummary struct {
 	FinalSignature uint64 `json:"finalSignature"`
 }
 
-// Coverage is the optional fault-simulation leg of a Report: the same
-// sampled fault list simulated under full observability and under the
-// plan's masks.
+// Coverage is the optional fault-simulation leg of a Report: one PPSFP pass
+// over a (collapsed) fault list, scoring full observability and the plan's
+// masks from the same faulty captures.
 type Coverage struct {
+	// AllFaults is the uncollapsed circuit-wide fault count; Classes is the
+	// number of equivalence classes after collapsing buffer/inverter
+	// chains. Faults is what was actually simulated: min(FaultSample,
+	// Classes) class representatives, or all of them under FaultFull.
+	AllFaults        int     `json:"allFaults"`
+	Classes          int     `json:"classes"`
 	Faults           int     `json:"faults"`
 	BaselineDetected int     `json:"baselineDetected"`
 	HybridDetected   int     `json:"hybridDetected"`
@@ -381,9 +400,9 @@ func RunSpec(ctx context.Context, spec Spec, cfg RunConfig) (*Report, error) {
 		vr.Halts <= rep.PlannedHalts
 
 	// Stage 7 (optional): fault simulation with and without the masks.
-	if spec.FaultSample > 0 {
+	if spec.FaultSample > 0 || spec.FaultFull {
 		end = stage("faultsim")
-		cov, err := measureCoverage(ckt, st, prog, spec.FaultSample, spec.FaultSeed)
+		cov, err := measureCoverage(ctx, ckt, st, prog, spec, cfg)
 		end()
 		if err != nil {
 			return nil, err
@@ -442,18 +461,22 @@ func simulateParallel(ctx context.Context, ckt *netlist.Circuit, geom scan.Geome
 	return set, nil
 }
 
-// measureCoverage fault-simulates a sampled fault list twice: under full
-// observability, and under the plan's masks (a cell is unobservable for a
-// pattern exactly when the mask of that pattern's partition covers it). The
-// masks only ever cover cells that capture X under every pattern of their
+// measureCoverage runs one PPSFP pass over the collapsed fault list and
+// scores two observability predicates from the same faulty captures: full
+// observability, and the plan's masks (a cell is unobservable for a pattern
+// exactly when the mask of that pattern's partition covers it). The masks
+// only ever cover cells that capture X under every pattern of their
 // partition, and X captures never contribute to detection, so the two
 // coverages must be equal — that equality is the paper's coverage claim,
-// measured on the construction-grade input.
-func measureCoverage(ckt *netlist.Circuit, st atpg.Stimuli, prog *Program, sample int, seed int64) (*Coverage, error) {
-	faults := fault.Sample(fault.AllFaults(ckt), sample, seed)
-	baseline, err := fault.Simulate(ckt, st.Loads, st.PIs, faults, nil)
-	if err != nil {
-		return nil, err
+// measured on the construction-grade input. Collapsing first means the
+// sample budget is spent on structurally distinct faults, not
+// buffer/inverter-chain equivalents.
+func measureCoverage(ctx context.Context, ckt *netlist.Circuit, st atpg.Stimuli, prog *Program, spec Spec, cfg RunConfig) (*Coverage, error) {
+	all := fault.AllFaults(ckt)
+	classes := fault.Collapse(ckt, all)
+	faults := fault.Representatives(classes)
+	if !spec.FaultFull {
+		faults = fault.Sample(faults, spec.FaultSample, spec.FaultSeed)
 	}
 	partOf := make([]int, len(prog.PatternOrder))
 	for i, part := range prog.Partitions {
@@ -462,11 +485,26 @@ func measureCoverage(ckt *netlist.Circuit, st atpg.Stimuli, prog *Program, sampl
 	observe := func(pattern, cell int) bool {
 		return !prog.Partitions[partOf[pattern]].Mask.Cells.Get(cell)
 	}
-	hybrid, err := fault.Simulate(ckt, st.Loads, st.PIs, faults, observe)
+	opt := fault.PPSFPOptions{
+		Workers: spec.FaultWorkers,
+		Obs:     cfg.Obs,
+	}
+	if opt.Workers == 0 {
+		opt.Workers = spec.Workers
+	}
+	if cfg.OnStage != nil {
+		opt.OnProgress = func(done, total int) {
+			cfg.OnStage(fmt.Sprintf("faultsim %d/%d", done, total))
+		}
+	}
+	res, err := fault.SimulatePPSFP(ctx, ckt, st.Loads, st.PIs, faults, []fault.Observe{nil, observe}, opt)
 	if err != nil {
 		return nil, err
 	}
+	baseline, hybrid := res[0], res[1]
 	return &Coverage{
+		AllFaults:        len(all),
+		Classes:          len(classes),
 		Faults:           baseline.Total,
 		BaselineDetected: baseline.Detected,
 		HybridDetected:   hybrid.Detected,

@@ -3,6 +3,7 @@ package flow
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"xhybrid/internal/atpg"
@@ -41,9 +42,24 @@ func TestRunSpecEndToEnd(t *testing.T) {
 	spec := testSpec()
 	spec.FaultSample = 60
 	spec.FaultSeed = 3
-	rep, err := RunSpec(context.Background(), spec, RunConfig{})
+	var mu sync.Mutex
+	var stages []string
+	rep, err := RunSpec(context.Background(), spec, RunConfig{OnStage: func(name string) {
+		mu.Lock()
+		stages = append(stages, name)
+		mu.Unlock()
+	}})
 	if err != nil {
 		t.Fatal(err)
+	}
+	progress := 0
+	for _, s := range stages {
+		if strings.HasPrefix(s, "faultsim ") && strings.HasSuffix(s, "/60") {
+			progress++
+		}
+	}
+	if progress == 0 {
+		t.Fatalf("no per-batch faultsim progress on OnStage; saw %v", stages)
 	}
 	if rep.TotalX == 0 || rep.XCells == 0 {
 		t.Fatal("pipeline extracted no X's; the spec should produce X structure")
@@ -69,6 +85,16 @@ func TestRunSpecEndToEnd(t *testing.T) {
 	}
 	if rep.Coverage.BaselineDetected == 0 {
 		t.Fatal("fault simulation detected nothing; the coverage check is vacuous")
+	}
+	if rep.Coverage.AllFaults == 0 || rep.Coverage.Classes == 0 {
+		t.Fatalf("collapse accounting missing: %+v", rep.Coverage)
+	}
+	if rep.Coverage.Classes >= rep.Coverage.AllFaults {
+		t.Fatalf("collapsing removed nothing: %d classes of %d faults",
+			rep.Coverage.Classes, rep.Coverage.AllFaults)
+	}
+	if rep.Coverage.Faults != spec.FaultSample {
+		t.Fatalf("simulated %d faults, want the %d-fault sample", rep.Coverage.Faults, spec.FaultSample)
 	}
 	wantStages := []string{"generate", "atpg", "simulate", "extract", "partition", "replay", "faultsim"}
 	if len(rep.Stages) != len(wantStages) {
@@ -108,6 +134,54 @@ func TestRunSpecGoldenAcrossWorkers(t *testing.T) {
 		if rep.Replay != first.Replay {
 			t.Errorf("workers=%d replay %+v diverged from workers=1 %+v", w, rep.Replay, first.Replay)
 		}
+	}
+}
+
+// TestCoverageGoldenAcrossFaultWorkers extends the determinism contract to
+// the faultsim stage: the Coverage leg must be byte-identical at any
+// fault-worker count.
+func TestCoverageGoldenAcrossFaultWorkers(t *testing.T) {
+	var first *Coverage
+	for _, w := range []int{1, 2, 4, 8} {
+		spec := testSpec()
+		spec.FaultSample = 80
+		spec.FaultSeed = 11
+		spec.FaultWorkers = w
+		rep, err := RunSpec(context.Background(), spec, RunConfig{})
+		if err != nil {
+			t.Fatalf("fault workers=%d: %v", w, err)
+		}
+		if rep.Coverage == nil {
+			t.Fatal("no coverage leg")
+		}
+		if first == nil {
+			first = rep.Coverage
+			continue
+		}
+		if *rep.Coverage != *first {
+			t.Errorf("fault workers=%d coverage %+v diverged from workers=1 %+v", w, *rep.Coverage, *first)
+		}
+	}
+}
+
+// TestRunSpecFaultFull runs the exhaustive coverage check: every collapsed
+// fault class simulated, FaultSample ignored.
+func TestRunSpecFaultFull(t *testing.T) {
+	spec := testSpec()
+	spec.FaultFull = true
+	rep, err := RunSpec(context.Background(), spec, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := rep.Coverage
+	if cov == nil {
+		t.Fatal("FaultFull set but no coverage leg in the report")
+	}
+	if cov.Faults != cov.Classes {
+		t.Fatalf("full run simulated %d faults, want all %d classes", cov.Faults, cov.Classes)
+	}
+	if !cov.Preserved || !rep.Preserved {
+		t.Fatalf("full-fault-list coverage not preserved: %+v", cov)
 	}
 }
 
@@ -198,6 +272,7 @@ func TestRunSpecValidation(t *testing.T) {
 		{"misr wider than chains", func(s *Spec) { s.MISRSize = 64 }},
 		{"unknown strategy", func(s *Spec) { s.Strategy = "divine" }},
 		{"negative fault sample", func(s *Spec) { s.FaultSample = -1 }},
+		{"negative fault workers", func(s *Spec) { s.FaultWorkers = -2 }},
 	}
 	for _, tc := range cases {
 		spec := testSpec()

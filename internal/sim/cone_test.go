@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"xhybrid/internal/logic"
+	"xhybrid/internal/netlist"
+)
+
+// coneCircuit builds a generated circuit large enough for non-trivial cones.
+func coneCircuit(t *testing.T, seed int64) *netlist.Circuit {
+	c, err := netlist.Generate(netlist.GenConfig{
+		Name:      "cone",
+		ScanCells: 32,
+		PIs:       6,
+		XClusters: 3,
+		XFanout:   4,
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// randVec returns a random three-valued vector with a sprinkling of Xes.
+func randVec(r *rand.Rand, n int) logic.Vector {
+	v := make(logic.Vector, n)
+	for i := range v {
+		switch r.Intn(8) {
+		case 0:
+			v[i] = logic.X
+		case 1, 2, 3:
+			v[i] = logic.One
+		default:
+			v[i] = logic.Zero
+		}
+	}
+	return v
+}
+
+// TestConeDiffMatchesScalar is the kernel's ground truth: for every fault,
+// FaultDiff's per-cell difference lanes must equal what the scalar simulator
+// reports pattern by pattern (capture differs, both values known), and no
+// scan cell outside the cone's observation set may ever differ.
+func TestConeDiffMatchesScalar(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		c := coneCircuit(t, seed)
+		r := rand.New(rand.NewSource(seed * 77))
+		// 50 patterns: a partial block, so the lane mask matters.
+		n := 50
+		loads := make([]logic.Vector, n)
+		pis := make([]logic.Vector, n)
+		for k := 0; k < n; k++ {
+			loads[k] = randVec(r, len(c.ScanCells))
+			pis[k] = randVec(r, len(c.PIs))
+		}
+		blk, err := NewParallel(c).CaptureBlock(loads, pis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.Patterns() != n {
+			t.Fatalf("Patterns() = %d, want %d", blk.Patterns(), n)
+		}
+
+		// Scalar reference captures: good machine once, then per fault.
+		scalar := New(c)
+		good := make([]logic.Vector, n)
+		for k := 0; k < n; k++ {
+			cap, _, err := scalar.Capture(loads[k], pis[k], NoFault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			good[k] = cap
+		}
+
+		ix := NewConeIndex(c)
+		if ix.CellCount() != len(c.ScanCells) {
+			t.Fatalf("CellCount = %d", ix.CellCount())
+		}
+		cs := ix.NewSim()
+		for node := 0; node < c.NumGates(); node += 3 {
+			switch c.Gates[node].Type {
+			case netlist.DFF, netlist.NonScanDFF, netlist.Tie0, netlist.Tie1, netlist.TieX:
+				continue
+			}
+			for _, sa := range []logic.V{logic.Zero, logic.One} {
+				fault := Fault{Node: node, StuckAt: sa}
+				gates, cells := cs.BuildCone(node)
+				gotLanes := make(map[int]uint64)
+				cs.FaultDiff(blk, fault, gates, cells, func(cell int, lanes uint64) {
+					gotLanes[cell] = lanes
+				})
+				inCone := make(map[int]bool, len(cells))
+				for _, cell := range cells {
+					inCone[int(cell)] = true
+				}
+				for k := 0; k < n; k++ {
+					bad, _, err := scalar.Capture(loads[k], pis[k], fault)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for cell := range bad {
+						diff := good[k][cell] != bad[cell] &&
+							good[k][cell] != logic.X && bad[cell] != logic.X
+						if diff && !inCone[cell] {
+							t.Fatalf("seed %d fault %d/sa%v: cell %d differs outside cone", seed, node, sa, cell)
+						}
+						want := diff
+						got := gotLanes[cell]>>uint(k)&1 == 1
+						if got != want {
+							t.Fatalf("seed %d fault %d/sa%v pattern %d cell %d: FaultDiff lane %v, scalar %v",
+								seed, node, sa, k, cell, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Cone gates must come back in a valid evaluation order and the observing
+// cells sorted; the block retained by CaptureBlock must stay valid across
+// later Capture calls on the same PSim.
+func TestConeBuildAndBlockImmutability(t *testing.T) {
+	c := coneCircuit(t, 5)
+	r := rand.New(rand.NewSource(9))
+	n := 16
+	loads := make([]logic.Vector, n)
+	pis := make([]logic.Vector, n)
+	for k := 0; k < n; k++ {
+		loads[k] = randVec(r, len(c.ScanCells))
+		pis[k] = randVec(r, len(c.PIs))
+	}
+	ps := NewParallel(c)
+	blk, err := ps.CaptureBlock(loads, pis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]pval, len(blk.vals))
+	copy(before, blk.vals)
+	// Reusing the PSim must not disturb the retained block.
+	if _, err := ps.Capture(loads[:1], pis[:1]); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if blk.vals[i] != before[i] {
+			t.Fatal("CaptureBlock state mutated by a later Capture")
+		}
+	}
+
+	ix := NewConeIndex(c)
+	cs := ix.NewSim()
+	for node := 0; node < c.NumGates(); node += 7 {
+		gates, cells := cs.BuildCone(node)
+		for i := 1; i < len(gates); i++ {
+			if ix.pos[gates[i-1]] >= ix.pos[gates[i]] {
+				t.Fatalf("node %d: cone gates not in topological order", node)
+			}
+		}
+		for i := 1; i < len(cells); i++ {
+			if cells[i-1] >= cells[i] {
+				t.Fatalf("node %d: observing cells not strictly sorted", node)
+			}
+		}
+	}
+
+	if _, err := ps.CaptureBlock(nil, nil); err == nil {
+		t.Fatal("CaptureBlock accepted an empty batch")
+	}
+}

@@ -83,20 +83,49 @@ func (s *PSim) Capture(loads, pis []logic.Vector) ([]logic.Vector, error) {
 // CaptureWithFault is Capture with a stuck-at fault forced on one node
 // across every lane.
 func (s *PSim) CaptureWithFault(loads, pis []logic.Vector, fault Fault) ([]logic.Vector, error) {
+	if err := s.eval(loads, pis, fault); err != nil {
+		return nil, err
+	}
+	c := s.c
+	n := len(loads)
+	out := make([]logic.Vector, n)
+	for k := range out {
+		out[k] = make(logic.Vector, len(c.ScanCells))
+	}
+	for i, id := range c.ScanCells {
+		v := s.vals[c.Gates[id].Fanin[0]]
+		for k := 0; k < n; k++ {
+			bit := uint(k)
+			switch {
+			case v.x>>bit&1 == 1:
+				out[k][i] = logic.X
+			case v.one>>bit&1 == 1:
+				out[k][i] = logic.One
+			default:
+				out[k][i] = logic.Zero
+			}
+		}
+	}
+	return out, nil
+}
+
+// eval runs the full 64-way evaluation for the batch, leaving every node's
+// word in s.vals.
+func (s *PSim) eval(loads, pis []logic.Vector, fault Fault) error {
 	c := s.c
 	n := len(loads)
 	if n == 0 || n > 64 {
-		return nil, fmt.Errorf("sim: parallel batch of %d patterns, want 1..64", n)
+		return fmt.Errorf("sim: parallel batch of %d patterns, want 1..64", n)
 	}
 	if len(pis) != n {
-		return nil, fmt.Errorf("sim: %d loads but %d pi vectors", n, len(pis))
+		return fmt.Errorf("sim: %d loads but %d pi vectors", n, len(pis))
 	}
 	for k := 0; k < n; k++ {
 		if len(loads[k]) != len(c.ScanCells) {
-			return nil, fmt.Errorf("sim: load %d width %d, want %d", k, len(loads[k]), len(c.ScanCells))
+			return fmt.Errorf("sim: load %d width %d, want %d", k, len(loads[k]), len(c.ScanCells))
 		}
 		if len(pis[k]) != len(c.PIs) {
-			return nil, fmt.Errorf("sim: pi %d width %d, want %d", k, len(pis[k]), len(c.PIs))
+			return fmt.Errorf("sim: pi %d width %d, want %d", k, len(pis[k]), len(c.PIs))
 		}
 	}
 	pack := func(get func(k int) logic.V) pval {
@@ -141,25 +170,7 @@ func (s *PSim) CaptureWithFault(loads, pis []logic.Vector, fault Fault) ([]logic
 	for _, id := range c.EvalOrder() {
 		s.vals[id] = force(id, evalGateP(c.Gates[id], s.vals))
 	}
-	out := make([]logic.Vector, n)
-	for k := range out {
-		out[k] = make(logic.Vector, len(c.ScanCells))
-	}
-	for i, id := range c.ScanCells {
-		v := s.vals[c.Gates[id].Fanin[0]]
-		for k := 0; k < n; k++ {
-			bit := uint(k)
-			switch {
-			case v.x>>bit&1 == 1:
-				out[k][i] = logic.X
-			case v.one>>bit&1 == 1:
-				out[k][i] = logic.One
-			default:
-				out[k][i] = logic.Zero
-			}
-		}
-	}
-	return out, nil
+	return nil
 }
 
 func evalGateP(g netlist.Gate, vals []pval) pval {
