@@ -146,7 +146,7 @@ func BenchmarkStrategies(b *testing.B) {
 	}
 	for _, s := range []core.Strategy{core.StrategyPaper, core.StrategyPaperRandom, core.StrategyGreedyCost} {
 		s := s
-		b.Run(s.String(), func(b *testing.B) {
+		b.Run(s.Name(), func(b *testing.B) {
 			var bits int
 			for i := 0; i < b.N; i++ {
 				p := table1Params(prof.Geometry())

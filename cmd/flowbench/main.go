@@ -45,7 +45,7 @@ func main() {
 	sseed := flag.Uint64("sseed", 1, "ATPG LFSR seed")
 	mSize := flag.Int("m", 32, "MISR size (must not exceed chains)")
 	q := flag.Int("q", 7, "X-free combinations per halt")
-	strategy := flag.String("strategy", "paper", "paper, paper-random, paper-retry or greedy")
+	strategy := flag.String("strategy", "paper", "strategy registry name: "+strings.Join(xhybrid.Strategies(), ", "))
 	seed := flag.Int64("seed", 0, "partitioning seed (paper-random)")
 	rounds := flag.Int("rounds", 0, "max accepted partitioning rounds (0 = unlimited)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")

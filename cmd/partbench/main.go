@@ -55,7 +55,8 @@ type report struct {
 func main() {
 	profile := flag.String("profile", "ckt-b", "workload profile: ckt-a, ckt-b or ckt-c")
 	scale := flag.Int("scale", 1, "shrink the profile by this factor")
-	strategy := flag.String("strategy", "greedy-cost", "paper, paper-random, greedy-cost or paper-retry")
+	strategy := flag.String("strategy", "greedy-cost",
+		"strategy registry name: "+strings.Join(core.StrategyNames(), ", "))
 	mSize := flag.Int("m", 32, "MISR size")
 	q := flag.Int("q", 7, "X-free combinations per halt")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
@@ -77,18 +78,9 @@ func main() {
 	if *scale > 1 {
 		prof = workload.Scaled(prof, *scale)
 	}
-	var strat core.Strategy
-	switch *strategy {
-	case "paper":
-		strat = core.StrategyPaper
-	case "paper-random":
-		strat = core.StrategyPaperRandom
-	case "greedy-cost":
-		strat = core.StrategyGreedyCost
-	case "paper-retry":
-		strat = core.StrategyPaperRetry
-	default:
-		die(fmt.Errorf("unknown strategy %q", *strategy))
+	strat, err := core.LookupStrategy(*strategy)
+	if err != nil {
+		die(err)
 	}
 
 	m, err := prof.Generate()
@@ -133,7 +125,7 @@ func measure(m *xmap.XMap, prof workload.Profile, strat core.Strategy, scale, mS
 	rep := report{
 		Profile: prof.Name, Scale: scale,
 		Patterns: m.Patterns(), Cells: m.Cells(), XCells: m.NumXCells(), TotalX: m.TotalX(),
-		Strategy: strat.String(), Workers: workers, Runs: runs,
+		Strategy: strat.Name(), Workers: workers, Runs: runs,
 	}
 	best := time.Duration(0)
 	var total time.Duration

@@ -394,7 +394,7 @@ func ablStrategies(w io.Writer, scale int) error {
 			if err != nil {
 				return err
 			}
-			tab.Row(prof.Name, s.String(),
+			tab.Row(prof.Name, s.Name(),
 				fmt.Sprintf("%d", len(cmp.Result.Partitions)),
 				fmt.Sprintf("%d", len(cmp.Result.Rounds)),
 				fmt.Sprintf("%d", cmp.HybridBits),

@@ -6,7 +6,7 @@
 //
 //	xhybrid analyze   (-workload ckt-b | -in xmap.json) [-seed N]
 //	xhybrid partition (-workload ckt-b | -in xmap.json) [-m 32] [-q 7]
-//	                  [-strategy paper|paper-random|greedy] [-workers N] [-v]
+//	                  [-strategy <registry name>] [-workers N] [-v]
 //	xhybrid example   # the paper's Figure 4-6 worked example
 //	xhybrid verify    [-cells N] [-patterns K] [-m 16] [-q 3] [-seed S]
 //	                  # build a circuit, simulate it, program the hybrid and
@@ -55,7 +55,7 @@ func main() {
 	seed := fs.Int64("seed", 0, "workload generation seed (0 = profile default)")
 	misrSize := fs.Int("m", 32, "X-canceling MISR size")
 	q := fs.Int("q", 7, "X-free combinations per halt")
-	strategy := fs.String("strategy", "paper", "split strategy: paper, paper-random or greedy")
+	strategy := fs.String("strategy", "paper", "strategy registry name: "+strings.Join(xhybrid.Strategies(), ", "))
 	workers := fs.Int("workers", 0, "worker goroutines for the partitioning hot loops (0 = all CPUs)")
 	verbose := fs.Bool("v", false, "print the per-round trace and partitions")
 	stats := fs.Bool("stats", false, "print a per-stage observability breakdown after the run")

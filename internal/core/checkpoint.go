@@ -74,7 +74,7 @@ func liveDigest(live []*partState) uint64 {
 func (e *evaluator) checkpoint(live []*partState, rounds []Round, masked, maskBits, cost int) *Checkpoint {
 	return &Checkpoint{
 		Version:     CheckpointVersion,
-		Strategy:    e.params.Strategy.String(),
+		Strategy:    e.params.strategyName(),
 		Seed:        e.params.Seed,
 		Patterns:    e.m.Patterns(),
 		Cells:       e.m.Cells(),
@@ -112,7 +112,7 @@ func (e *evaluator) replay(cp *Checkpoint, root *partState, rng *rand.Rand) (liv
 	if cp.Version != CheckpointVersion {
 		return fail(mismatch("version %d, want %d", cp.Version, CheckpointVersion))
 	}
-	if got := e.params.Strategy.String(); cp.Strategy != got {
+	if got := e.params.strategyName(); cp.Strategy != got {
 		return fail(mismatch("strategy %q, run uses %q", cp.Strategy, got))
 	}
 	if cp.Seed != e.params.Seed {
@@ -154,13 +154,12 @@ func (e *evaluator) replay(cp *Checkpoint, root *partState, rng *rand.Rand) (liv
 			return fail(mismatch("round %d re-derives as cost %d->%d (accepted=%v), recorded %d->%d (accepted=%v)",
 				r.Round, cost, newCost, newCost < cost, r.CostBefore, r.CostAfter, r.Accepted))
 		}
-		if e.params.Strategy == StrategyPaperRandom {
-			if r.GroupSize < 1 {
-				return fail(mismatch("round %d records group size %d under paper-random", r.Round, r.GroupSize))
-			}
-			// Consume the draw the original selectPaper spent on this
+		if rr, ok := e.params.strategy().(RoundReplayer); ok {
+			// Consume the draws the original selection spent on this
 			// attempt, restoring the stream for the continuation.
-			rng.Intn(r.GroupSize)
+			if rerr := rr.ReplayRound(rng, r); rerr != nil {
+				return fail(mismatch("%s", rerr))
+			}
 		}
 		if r.Accepted {
 			xs.ensureCells(e, parent)

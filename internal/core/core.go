@@ -43,44 +43,6 @@ var (
 	ErrEmptyPatterns = errors.New("core: empty pattern set")
 )
 
-// Strategy selects how the partitioner chooses the next split.
-type Strategy int
-
-const (
-	// StrategyPaper follows Algorithm 1: among all current partitions, take
-	// the largest group of cells sharing an in-partition X count (at least
-	// two cells), and split on its lowest-indexed member. Deterministic.
-	StrategyPaper Strategy = iota
-	// StrategyPaperRandom is StrategyPaper but picks a random member of the
-	// winning group, as the paper's example does ("we randomly select one
-	// of 3 scan cells"). Seeded via Params.Seed.
-	StrategyPaperRandom
-	// StrategyGreedyCost ignores the group heuristic and evaluates the
-	// actual cost delta of every distinct candidate split, applying the
-	// best one. More expensive per round; used for the ablation study.
-	StrategyGreedyCost
-	// StrategyPaperRetry extends Algorithm 1: when the best group's split
-	// is rejected by the cost function, the next candidate groups (up to
-	// RetryBudget) are tried before giving up — the paper stops at the
-	// first rejection.
-	StrategyPaperRetry
-)
-
-// String names the strategy.
-func (s Strategy) String() string {
-	switch s {
-	case StrategyPaper:
-		return "paper"
-	case StrategyPaperRandom:
-		return "paper-random"
-	case StrategyGreedyCost:
-		return "greedy-cost"
-	case StrategyPaperRetry:
-		return "paper-retry"
-	}
-	return fmt.Sprintf("Strategy(%d)", int(s))
-}
-
 // Params configures a hybrid evaluation.
 type Params struct {
 	// Geom is the scan geometry; mask control bits cost Geom.Cells() per
@@ -88,7 +50,8 @@ type Params struct {
 	Geom scan.Geometry
 	// Cancel is the X-canceling MISR configuration (m, q).
 	Cancel xcancel.Config
-	// Strategy selects the split-selection rule.
+	// Strategy selects the split-selection rule (see the Strategy interface
+	// and the registry in registry.go); nil selects StrategyPaper.
 	Strategy Strategy
 	// Seed seeds StrategyPaperRandom's cell choice.
 	Seed int64
@@ -167,10 +130,8 @@ func (p Params) Validate() error {
 	if err := p.Cancel.Validate(); err != nil {
 		return err
 	}
-	switch p.Strategy {
-	case StrategyPaper, StrategyPaperRandom, StrategyGreedyCost, StrategyPaperRetry:
-	default:
-		return fmt.Errorf("core: unknown strategy %d", int(p.Strategy))
+	if p.Strategy != nil && p.Strategy.Name() == "" {
+		return fmt.Errorf("core: strategy with empty name")
 	}
 	if p.MaxRounds < 0 {
 		return fmt.Errorf("core: negative MaxRounds")

@@ -13,14 +13,6 @@ import (
 	"xhybrid/internal/xmask"
 )
 
-// split describes a candidate partitioning step.
-type split struct {
-	partIdx    int
-	cell       int
-	groupSize  int
-	groupCount int
-}
-
 // Run executes the partitioning algorithm on the X-map of a pattern set and
 // returns the full hybrid accounting. The X-map dimensions must match the
 // geometry (Cells) — patterns are taken from the map. It is RunCtx with a
@@ -86,25 +78,16 @@ func RunCtx(ctx context.Context, m *xmap.XMap, params Params) (*Result, error) {
 		}
 		params.Obs.Set("core.resume.rounds", int64(round))
 	}
+	strat := params.strategy()
+	sel := &Selection{e: e, rng: rng}
 	sinceCheckpoint := 0
 outer:
 	for {
 		if err := e.err(); err != nil {
 			return nil, err
 		}
-		var attempts []split
-		switch params.Strategy {
-		case StrategyPaper, StrategyPaperRandom:
-			if cand := e.selectPaper(live, params.Strategy == StrategyPaperRandom, rng); cand != nil {
-				attempts = []split{*cand}
-			}
-		case StrategyPaperRetry:
-			attempts = e.selectPaperList(live, params.retryBudget())
-		case StrategyGreedyCost:
-			if cand := e.selectGreedy(live, masked, maskBits, cost); cand != nil {
-				attempts = []split{*cand}
-			}
-		}
+		sel.set(live, masked, maskBits, cost)
+		attempts := strat.Select(sel)
 		if len(attempts) == 0 {
 			break
 		}
@@ -112,6 +95,14 @@ outer:
 		for _, cand := range attempts {
 			if err := e.err(); err != nil {
 				return nil, err
+			}
+			// The built-in strategies only emit valid splits; this guards
+			// the engine against externally registered ones.
+			if cand.Partition < 0 || cand.Partition >= len(live) {
+				return nil, fmt.Errorf("core: strategy %s selected partition %d of %d", strat.Name(), cand.Partition, len(live))
+			}
+			if _, ok := e.m.CellPatterns(cand.Cell); !ok {
+				return nil, fmt.Errorf("core: strategy %s selected cell %d, which captures no X", strat.Name(), cand.Cell)
 			}
 			round++
 			if params.MaxRounds > 0 && round > params.MaxRounds {
@@ -123,18 +114,18 @@ outer:
 			// with its two sides'. The greedy selector already interned the
 			// winning candidate's sides, so this re-pricing is pure cache
 			// hits there.
-			parent := live[cand.partIdx]
-			xs, rs := e.splitStates(parent, cand.cell)
+			parent := live[cand.Partition]
+			xs, rs := e.splitStates(parent, cand.Cell)
 			e.obsDelta.Inc()
 			newMasked := masked - parent.maskedX + xs.maskedX + rs.maskedX
 			newMaskBits := maskBits - e.contrib(parent) + e.contrib(xs) + e.contrib(rs)
 			newCost := newMaskBits + e.cancelBits(newMasked)
 			r := Round{
 				Round:          round,
-				SplitPartition: cand.partIdx,
-				SplitCell:      cand.cell,
-				GroupSize:      cand.groupSize,
-				GroupCount:     cand.groupCount,
+				SplitPartition: cand.Partition,
+				SplitCell:      cand.Cell,
+				GroupSize:      cand.GroupSize,
+				GroupCount:     cand.GroupCount,
 				CostBefore:     cost,
 				CostAfter:      newCost,
 				Accepted:       newCost < cost,
@@ -148,9 +139,9 @@ outer:
 				xs.ensureCells(e, parent)
 				rs.ensureCells(e, parent)
 				live = append(live, nil)
-				copy(live[cand.partIdx+2:], live[cand.partIdx+1:])
-				live[cand.partIdx] = xs
-				live[cand.partIdx+1] = rs
+				copy(live[cand.Partition+2:], live[cand.Partition+1:])
+				live[cand.Partition] = xs
+				live[cand.Partition+1] = rs
 				masked, maskBits, cost = newMasked, newMaskBits, newCost
 				committed = true
 				sinceCheckpoint++
@@ -198,33 +189,33 @@ func (e *evaluator) groupsPerPartition(live []*partState) [][]correlation.Group 
 // selectPaperList returns up to budget candidates in Algorithm 1 preference
 // order (largest group first, ties by count, partition, cell) — the retry
 // strategy walks this list past cost rejections.
-func (e *evaluator) selectPaperList(live []*partState, budget int) []split {
-	var all []split
+func (e *evaluator) selectPaperList(live []*partState, budget int) []Split {
+	var all []Split
 	for i, groups := range e.groupsPerPartition(live) {
 		size := live[i].size
 		for _, g := range groups {
 			if g.Count >= size || g.Size() < 2 {
 				continue
 			}
-			all = append(all, split{
-				partIdx:    i,
-				cell:       g.Cells[0],
-				groupSize:  g.Size(),
-				groupCount: g.Count,
+			all = append(all, Split{
+				Partition:  i,
+				Cell:       g.Cells[0],
+				GroupSize:  g.Size(),
+				GroupCount: g.Count,
 			})
 		}
 	}
 	sort.Slice(all, func(a, b int) bool {
-		if all[a].groupSize != all[b].groupSize {
-			return all[a].groupSize > all[b].groupSize
+		if all[a].GroupSize != all[b].GroupSize {
+			return all[a].GroupSize > all[b].GroupSize
 		}
-		if all[a].groupCount != all[b].groupCount {
-			return all[a].groupCount > all[b].groupCount
+		if all[a].GroupCount != all[b].GroupCount {
+			return all[a].GroupCount > all[b].GroupCount
 		}
-		if all[a].partIdx != all[b].partIdx {
-			return all[a].partIdx < all[b].partIdx
+		if all[a].Partition != all[b].Partition {
+			return all[a].Partition < all[b].Partition
 		}
-		return all[a].cell < all[b].cell
+		return all[a].Cell < all[b].Cell
 	})
 	if len(all) > budget {
 		all = all[:budget]
@@ -239,8 +230,8 @@ func (e *evaluator) selectPaperList(live []*partState, budget int) []split {
 // cross-partition reduce below walks the partitions in index order, so the
 // choice (and the single rng draw for the random variant) is identical to a
 // serial scan.
-func (e *evaluator) selectPaper(live []*partState, random bool, rng *rand.Rand) *split {
-	var best *split
+func (e *evaluator) selectPaper(live []*partState, random bool, rng *rand.Rand) *Split {
+	var best *Split
 	var bestGroup correlation.Group
 	for i, groups := range e.groupsPerPartition(live) {
 		size := live[i].size
@@ -255,13 +246,13 @@ func (e *evaluator) selectPaper(live []*partState, random bool, rng *rand.Rand) 
 			switch {
 			case best == nil:
 				better = true
-			case g.Size() != best.groupSize:
-				better = g.Size() > best.groupSize
-			case g.Count != best.groupCount:
-				better = g.Count > best.groupCount
+			case g.Size() != best.GroupSize:
+				better = g.Size() > best.GroupSize
+			case g.Count != best.GroupCount:
+				better = g.Count > best.GroupCount
 			}
 			if better {
-				best = &split{partIdx: i, groupSize: g.Size(), groupCount: g.Count}
+				best = &Split{Partition: i, GroupSize: g.Size(), GroupCount: g.Count}
 				bestGroup = g
 			}
 		}
@@ -270,9 +261,9 @@ func (e *evaluator) selectPaper(live []*partState, random bool, rng *rand.Rand) 
 		return nil
 	}
 	if random {
-		best.cell = bestGroup.Cells[rng.Intn(len(bestGroup.Cells))]
+		best.Cell = bestGroup.Cells[rng.Intn(len(bestGroup.Cells))]
 	} else {
-		best.cell = bestGroup.Cells[0]
+		best.Cell = bestGroup.Cells[0]
 	}
 	return best
 }
@@ -287,7 +278,7 @@ func (e *evaluator) selectPaper(live []*partState, random bool, rng *rand.Rand) 
 // The reduce takes the lowest cost at the earliest position in the serial
 // enumeration order (partition index, then gain rank), so the pick matches
 // a serial scan exactly.
-func (e *evaluator) selectGreedy(live []*partState, masked, maskBits, cost int) *split {
+func (e *evaluator) selectGreedy(live []*partState, masked, maskBits, cost int) *Split {
 	limit := e.params.GreedyCandidateCap
 	if limit <= 0 {
 		limit = 256
@@ -298,13 +289,13 @@ func (e *evaluator) selectGreedy(live []*partState, masked, maskBits, cost int) 
 		}
 		live[i].ensureCands(e, limit)
 	})
-	var all []split
+	var all []Split
 	for i, st := range live {
 		if st.size < 2 || !st.candsReady.Load() {
 			continue
 		}
 		for _, cell := range st.cands {
-			all = append(all, split{partIdx: i, cell: cell})
+			all = append(all, Split{Partition: i, Cell: cell})
 		}
 	}
 	if len(all) == 0 {
@@ -317,8 +308,8 @@ func (e *evaluator) selectGreedy(live []*partState, masked, maskBits, cost int) 
 		if e.canceled() {
 			return
 		}
-		parent := live[all[k].partIdx]
-		xs, rs := e.splitStates(parent, all[k].cell)
+		parent := live[all[k].Partition]
+		xs, rs := e.splitStates(parent, all[k].Cell)
 		e.obsDelta.Inc()
 		costs[k] = maskBits - e.contrib(parent) + e.contrib(xs) + e.contrib(rs) +
 			e.cancelBits(masked-parent.maskedX+xs.maskedX+rs.maskedX)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -273,9 +274,9 @@ func TestValidation(t *testing.T) {
 		t.Fatal("accepted mismatched geometry")
 	}
 	p = fig4Params(2)
-	p.Strategy = Strategy(99)
+	p.Strategy = namelessStrategy{}
 	if _, err := Run(m, p); err == nil {
-		t.Fatal("accepted unknown strategy")
+		t.Fatal("accepted strategy with empty name")
 	}
 	p = fig4Params(2)
 	p.MaxRounds = -1
@@ -388,9 +389,23 @@ func TestEvaluateComparison(t *testing.T) {
 	}
 }
 
+// namelessStrategy fails Params.Validate: every strategy must report a name.
+type namelessStrategy struct{}
+
+func (namelessStrategy) Name() string                 { return "" }
+func (namelessStrategy) Select(sc *Selection) []Split { return nil }
+
 func TestStrategyString(t *testing.T) {
-	if StrategyPaper.String() != "paper" || StrategyPaperRandom.String() != "paper-random" ||
-		StrategyGreedyCost.String() != "greedy-cost" || Strategy(9).String() == "" {
-		t.Fatal("Strategy.String wrong")
+	if StrategyPaper.Name() != "paper" || StrategyPaperRandom.Name() != "paper-random" ||
+		StrategyGreedyCost.Name() != "greedy-cost" || StrategyXCodeHybrid.Name() != "xcode-hybrid" {
+		t.Fatal("strategy names wrong")
+	}
+	// fmt's %s keeps working on the concrete built-ins.
+	if fmt.Sprintf("%s", StrategyPaper) != "paper" {
+		t.Fatal("Stringer wrong")
+	}
+	// nil Params.Strategy resolves to the paper procedure.
+	if (Params{}).strategy().Name() != "paper" {
+		t.Fatal("nil strategy default wrong")
 	}
 }

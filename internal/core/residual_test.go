@@ -46,9 +46,9 @@ func TestResidualAgreement(t *testing.T) {
 		run  func(m *xmap.XMap, p Params) (*Result, error)
 	}
 	var runners []runner
-	for _, s := range []Strategy{StrategyPaper, StrategyPaperRandom, StrategyGreedyCost, StrategyPaperRetry} {
+	for _, s := range []Strategy{StrategyPaper, StrategyPaperRandom, StrategyGreedyCost, StrategyPaperRetry, StrategyXCodeHybrid} {
 		s := s
-		runners = append(runners, runner{name: s.String(), run: func(m *xmap.XMap, p Params) (*Result, error) {
+		runners = append(runners, runner{name: s.Name(), run: func(m *xmap.XMap, p Params) (*Result, error) {
 			p.Strategy = s
 			return Run(m, p)
 		}})

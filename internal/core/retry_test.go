@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"xhybrid/internal/misr"
@@ -129,7 +130,10 @@ func TestRetryNeverWorseThanPaper(t *testing.T) {
 }
 
 func TestRetryStrategyString(t *testing.T) {
-	if StrategyPaperRetry.String() != "paper-retry" {
+	if StrategyPaperRetry.Name() != "paper-retry" {
 		t.Fatal("name wrong")
+	}
+	if fmt.Sprintf("%s", StrategyPaperRetry) != "paper-retry" {
+		t.Fatal("String wrong")
 	}
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xcode"
+)
+
+// xcodeStrategy is the weight-3 X-code hybrid: it assumes an X-code spatial
+// compactor (internal/xcode) folds the scan chains onto the MISR inputs, so
+// what the canceler pays for is not the raw residual X count but the number
+// of corrupted compactor channels — an X-tolerant wiring can fold many X's
+// from one chain into the same 3 channels. Each round it takes the splits
+// that improve the standard mask+cancel cost (so the engine's accept gate,
+// checkpoints and accounting behave exactly as for every other strategy)
+// and orders them by the X-code architecture's canceling price — the
+// control bits for the corrupted-channel count under the candidate plan —
+// breaking ties by the standard cost. The committed plan is therefore
+// valid and verifiable under the standard model while being chosen for the
+// X-code one; stratbench reports both totals.
+//
+// Unlike the four classic strategies, this one is implemented entirely on
+// the exported Selection surface (Candidates, PriceSplit, Patterns, XMap),
+// exercising the same contract an out-of-package strategy would.
+type xcodeStrategy struct{}
+
+func (xcodeStrategy) Name() string   { return "xcode-hybrid" }
+func (xcodeStrategy) String() string { return "xcode-hybrid" }
+
+// xcodeCandidateCap bounds the gain-ranked candidates priced per partition
+// and xcodeRescoreCap the finalists re-scored under the X-code model (the
+// channel-residual scan is the expensive part).
+const (
+	xcodeCandidateCap = 24
+	xcodeRescoreCap   = 8
+)
+
+func (s xcodeStrategy) Select(sc *Selection) []Split {
+	type scored struct {
+		Split
+		stdCost int
+		xBits   int
+	}
+	splitsOf := func(cands []scored) []Split {
+		out := make([]Split, len(cands))
+		for i, c := range cands {
+			out[i] = c.Split
+		}
+		return out
+	}
+	// Phase 1: enumerate and delta-price candidates, keeping the strictly
+	// improving ones — the engine would reject anything else.
+	var cands []scored
+	for i := 0; i < sc.Partitions(); i++ {
+		for _, cell := range sc.Candidates(i, xcodeCandidateCap) {
+			if c := sc.PriceSplit(i, cell); c < sc.Cost() {
+				cands = append(cands, scored{Split: Split{Partition: i, Cell: cell}, stdCost: c})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// Phase 2: keep the cheapest finalists under the standard model (stable,
+	// so equal costs keep gain-rank order) and re-score them by the X-code
+	// architecture's canceling price. The mask term is identical for every
+	// finalist (all add exactly one partition), so the corrupted-channel
+	// control bits alone rank the X-code side.
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].stdCost < cands[b].stdCost })
+	if len(cands) > xcodeRescoreCap {
+		cands = cands[:xcodeRescoreCap]
+	}
+	m, geom, cfg := sc.XMap(), sc.Geometry(), sc.Config().Cancel
+	code, err := xcode.Build(geom.Chains)
+	if err != nil {
+		// Unreachable for a validated geometry (Chains >= 1); fall back to
+		// the standard-cost order.
+		return splitsOf(cands)
+	}
+	base := make([]int, sc.Partitions())
+	totalBase := 0
+	for i := range base {
+		base[i] = xcode.Residual(code, m, geom, sc.Patterns(i))
+		totalBase += base[i]
+	}
+	for k := range cands {
+		parent := sc.Patterns(cands[k].Partition)
+		cellBits, ok := m.CellPatterns(cands[k].Cell)
+		if !ok {
+			continue
+		}
+		xs := gf2.AndOf(parent, cellBits)
+		rs := gf2.AndNotOf(parent, cellBits)
+		resid := totalBase - base[cands[k].Partition] +
+			xcode.Residual(code, m, geom, xs) + xcode.Residual(code, m, geom, rs)
+		cands[k].xBits = xcancel.ControlBits(resid, cfg.MISR.Size, cfg.Q)
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].xBits != cands[b].xBits {
+			return cands[a].xBits < cands[b].xBits
+		}
+		return cands[a].stdCost < cands[b].stdCost
+	})
+	return splitsOf(cands)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/misr"
+	"xhybrid/internal/workload"
+	"xhybrid/internal/xcancel"
+	"xhybrid/internal/xcode"
+	"xhybrid/internal/xmap"
+)
+
+func xcodeParams(t *testing.T) (*xmap.XMap, Params) {
+	t.Helper()
+	prof := workload.Scaled(workload.CKTB(), 8)
+	m, err := prof.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, Params{
+		Geom:     prof.Geometry(),
+		Cancel:   xcancel.Config{MISR: misr.MustStandard(32), Q: 7},
+		Strategy: StrategyXCodeHybrid,
+		Seed:     1,
+	}
+}
+
+// TestXCodeHybridPlan checks the strategy produces a real, improving plan:
+// every accepted round lowers the standard mask+cancel cost (the engine's
+// accept gate is strategy-independent), the final plan beats the no-split
+// baseline, and the X-code residual it optimizes for is computable over the
+// resulting partitions.
+func TestXCodeHybridPlan(t *testing.T) {
+	m, p := xcodeParams(t)
+	res, err := Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) < 2 {
+		t.Fatalf("xcode-hybrid never split: %d partitions", len(res.Partitions))
+	}
+	accepted := 0
+	for _, r := range res.Rounds {
+		if r.Accepted {
+			accepted++
+			if r.CostAfter >= r.CostBefore {
+				t.Errorf("round %d accepted without improving: %d -> %d", r.Round, r.CostBefore, r.CostAfter)
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no accepted rounds")
+	}
+	baseline := xcancel.ControlBits(m.TotalX(), 32, 7)
+	if res.TotalBits >= baseline {
+		t.Errorf("TotalBits %d not below no-split baseline %d", res.TotalBits, baseline)
+	}
+	// The secondary objective is well-defined on the plan it produced.
+	c, err := xcode.Build(p.Geom.Chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([]gf2.Vec, len(res.Partitions))
+	for i, part := range res.Partitions {
+		vecs[i] = part.Patterns
+	}
+	if got := xcode.PlanResidual(c, m, p.Geom, vecs); got <= 0 {
+		t.Errorf("PlanResidual = %d on a plan with residual X", got)
+	}
+}
+
+// TestXCodeHybridDeterminism locks the plan across worker counts: the
+// strategy's two-phase rescoring must order candidates identically no matter
+// how the evaluator parallelizes scoring underneath it.
+func TestXCodeHybridDeterminism(t *testing.T) {
+	m, p := xcodeParams(t)
+	var first string
+	for _, workers := range []int{1, 4, 8} {
+		p.Workers = workers
+		res, err := Run(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := canonicalDigest(res)
+		if first == "" {
+			first = d
+		} else if d != first {
+			t.Fatalf("workers=%d plan digest %s differs from workers=1 %s", workers, d, first)
+		}
+	}
+}
+
+// TestXCodeHybridCheckpointRoundTrip proves the strategy composes with the
+// engine's checkpoint/replay machinery unchanged: a run resumed from its own
+// mid-flight checkpoint lands on the same plan as the uninterrupted run.
+// Replay re-executes recorded splits (not selection), so any strategy whose
+// accepted rounds carry standard costs — including xcode-hybrid — resumes.
+func TestXCodeHybridCheckpointRoundTrip(t *testing.T) {
+	m, p := xcodeParams(t)
+	var cps []*Checkpoint
+	p.CheckpointEvery = 2
+	p.CheckpointSink = func(cp *Checkpoint) error {
+		cps = append(cps, cp)
+		return nil
+	}
+	straight, err := Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints emitted")
+	}
+	p.CheckpointEvery, p.CheckpointSink = 0, nil
+	p.Resume = cps[len(cps)/2]
+	resumed, err := Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalDigest(resumed) != canonicalDigest(straight) {
+		t.Fatal("resumed xcode-hybrid run diverged from the straight run")
+	}
+}

@@ -61,12 +61,22 @@ func BuildCtx(ctx context.Context, m *xmap.XMap, params core.Params, tcfg tester
 	if err != nil {
 		return nil, err
 	}
+	return Assemble(res, params.Geom, params.Cancel, tcfg, params.Obs)
+}
+
+// Assemble builds the tester program around an already-computed
+// partitioning result: pattern ordering, halt budget and the cycle-level
+// schedule. BuildCtx is Assemble after core.RunCtx; callers that produced
+// the result some other way — RunClustered plans, or stratbench racing many
+// strategies over one X-map — assemble directly and verify through the same
+// replay path. rec may be nil.
+func Assemble(res *core.Result, geom scan.Geometry, cancel xcancel.Config, tcfg tester.Config, rec *obs.Recorder) (*Program, error) {
 	prog := &Program{
-		Geom:       params.Geom,
-		Cancel:     params.Cancel,
+		Geom:       geom,
+		Cancel:     cancel,
 		Partitions: res.Partitions,
 		Accounting: res,
-		Obs:        params.Obs,
+		Obs:        rec,
 	}
 	sizes := make([]int, len(res.Partitions))
 	for i, p := range res.Partitions {
@@ -76,14 +86,14 @@ func BuildCtx(ctx context.Context, m *xmap.XMap, params core.Params, tcfg tester
 		}
 	}
 	prog.PartitionOf = tester.OrderedByPartition(sizes)
-	halts := xcancel.Halts(res.ResidualX, params.Cancel.MISR.Size, params.Cancel.Q)
+	halts := xcancel.Halts(res.ResidualX, cancel.MISR.Size, cancel.Q)
 	sched, err := tester.Compute(tester.Plan{
-		Geom:             params.Geom,
+		Geom:             geom,
 		PartitionOf:      prog.PartitionOf,
-		MaskBitsPerImage: params.Geom.Cells(),
+		MaskBitsPerImage: geom.Cells(),
 		Halts:            halts,
-		MISRSize:         params.Cancel.MISR.Size,
-		Q:                params.Cancel.Q,
+		MISRSize:         cancel.MISR.Size,
+		Q:                cancel.Q,
 	}, tcfg)
 	if err != nil {
 		return nil, err

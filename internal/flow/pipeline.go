@@ -102,8 +102,11 @@ func (s *Spec) Normalize() {
 	if s.Q == 0 {
 		s.Q = 7
 	}
-	if s.Strategy == "" {
-		s.Strategy = "paper"
+	if strat, err := core.LookupStrategy(s.Strategy); err == nil {
+		// Canonicalize (""->paper, legacy greedy->greedy-cost) so equal
+		// specs spool and report equally; unknown names are left for
+		// Validate to reject.
+		s.Strategy = strat.Name()
 	}
 }
 
@@ -139,21 +142,14 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-// strategy maps the wire name onto the core enum (same vocabulary as the
-// facade's Options.Strategy).
+// strategy resolves the wire name through the core registry (the same
+// vocabulary as every other surface).
 func (s *Spec) strategy() (core.Strategy, error) {
-	switch s.Strategy {
-	case "", "paper":
-		return core.StrategyPaper, nil
-	case "paper-random":
-		return core.StrategyPaperRandom, nil
-	case "paper-retry":
-		return core.StrategyPaperRetry, nil
-	case "greedy":
-		return core.StrategyGreedyCost, nil
-	default:
-		return 0, fmt.Errorf("flow: unknown strategy %q", s.Strategy)
+	strat, err := core.LookupStrategy(s.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
 	}
+	return strat, nil
 }
 
 // RunConfig carries the per-run (non-serialized) knobs of RunSpec.
@@ -266,6 +262,94 @@ type Report struct {
 	Stages []StageTime `json:"stages"`
 }
 
+// XMapBuild is the product of the pipeline's front half (stages 1-4): the
+// generated circuit, its scan geometry, the simulated three-valued
+// responses, and the X-map extracted from them with its canonical XMAPB
+// digest. Everything downstream — partitioning, replay, fault simulation —
+// consumes only these.
+type XMapBuild struct {
+	Circuit   *netlist.Circuit
+	Geom      scan.Geometry
+	Stimuli   atpg.Stimuli
+	Responses *scan.ResponseSet
+	XMap      *xmap.XMap
+	Digest    string
+}
+
+// BuildXMap runs the deterministic front half of the pipeline — generate,
+// ATPG, simulate, extract — for a spec and returns the X-map with its
+// provenance. It is the entry point for tools that want real X-maps
+// without committing to one partitioning strategy (stratbench races many
+// strategies over a single build). The spec is normalized and validated
+// first; equal specs produce byte-identical X-maps at any worker count.
+func BuildXMap(ctx context.Context, spec Spec) (*XMapBuild, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return BuildXMapStaged(ctx, spec, nil)
+}
+
+// BuildXMapStaged is BuildXMap with a per-stage timing hook: stage(name) is
+// called as each stage starts and the returned func at its end. A nil stage
+// skips instrumentation. The spec must already be normalized and valid.
+func BuildXMapStaged(ctx context.Context, spec Spec, stage func(name string) func()) (*XMapBuild, error) {
+	if stage == nil {
+		stage = func(string) func() { return func() {} }
+	}
+
+	// Stage 1: generate the circuit.
+	end := stage("generate")
+	ckt, err := netlist.Generate(netlist.GenConfig{
+		Name:            spec.Name,
+		ScanCells:       spec.Cells,
+		PIs:             spec.PIs,
+		GatesPerCell:    spec.GatesPerCell,
+		XClusters:       spec.XClusters,
+		XFanout:         spec.XFanout,
+		EnableTaps:      spec.EnableTaps,
+		DropoutPerMille: spec.DropoutPerMille,
+		Seed:            spec.CircuitSeed,
+	})
+	end()
+	if err != nil {
+		return nil, err
+	}
+	chainLen := spec.Cells / spec.Chains
+	geom := scan.MustGeometry(spec.Chains, chainLen)
+
+	// Stage 2: LFSR ATPG.
+	end = stage("atpg")
+	st := atpg.GenerateStimuli(spec.Patterns, len(ckt.ScanCells), len(ckt.PIs), spec.StimSeed)
+	end()
+
+	// Stage 3: three-valued simulation, fanned out over 64-pattern blocks.
+	end = stage("simulate")
+	set, err := simulateParallel(ctx, ckt, geom, st, spec.Workers)
+	end()
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: extract the X-map and its canonical digest.
+	end = stage("extract")
+	m := xmap.FromResponses(set)
+	digest := sha256.New()
+	err = xmap.WriteBinary(digest, m, spec.Chains, chainLen)
+	end()
+	if err != nil {
+		return nil, err
+	}
+	return &XMapBuild{
+		Circuit:   ckt,
+		Geom:      geom,
+		Stimuli:   st,
+		Responses: set,
+		XMap:      m,
+		Digest:    hex.EncodeToString(digest.Sum(nil)),
+	}, nil
+}
+
 // RunSpec executes the full pipeline for the spec. The returned report is
 // deterministic apart from Stages wall times; a non-nil error means a stage
 // failed or a preservation assertion did not hold structurally (geometry or
@@ -296,55 +380,20 @@ func RunSpec(ctx context.Context, spec Spec, cfg RunConfig) (*Report, error) {
 		}
 	}
 
-	// Stage 1: generate the circuit.
-	end := stage("generate")
-	ckt, err := netlist.Generate(netlist.GenConfig{
-		Name:            spec.Name,
-		ScanCells:       spec.Cells,
-		PIs:             spec.PIs,
-		GatesPerCell:    spec.GatesPerCell,
-		XClusters:       spec.XClusters,
-		XFanout:         spec.XFanout,
-		EnableTaps:      spec.EnableTaps,
-		DropoutPerMille: spec.DropoutPerMille,
-		Seed:            spec.CircuitSeed,
-	})
-	end()
+	// Stages 1-4: circuit, stimuli, simulation, X-map.
+	xb, err := BuildXMapStaged(ctx, spec, stage)
 	if err != nil {
 		return nil, err
 	}
+	ckt, geom, st, set, m := xb.Circuit, xb.Geom, xb.Stimuli, xb.Responses, xb.XMap
 	rep.Gates = len(ckt.Gates)
-	geom := scan.MustGeometry(spec.Chains, rep.ChainLen)
-
-	// Stage 2: LFSR ATPG.
-	end = stage("atpg")
-	st := atpg.GenerateStimuli(spec.Patterns, len(ckt.ScanCells), len(ckt.PIs), spec.StimSeed)
-	end()
-
-	// Stage 3: three-valued simulation, fanned out over 64-pattern blocks.
-	end = stage("simulate")
-	set, err := simulateParallel(ctx, ckt, geom, st, spec.Workers)
-	end()
-	if err != nil {
-		return nil, err
-	}
-
-	// Stage 4: extract the X-map and its canonical digest.
-	end = stage("extract")
-	m := xmap.FromResponses(set)
-	digest := sha256.New()
-	err = xmap.WriteBinary(digest, m, spec.Chains, rep.ChainLen)
-	end()
-	if err != nil {
-		return nil, err
-	}
 	rep.XCells = m.NumXCells()
 	rep.TotalX = m.TotalX()
 	rep.Density = m.Density()
-	rep.XMapDigest = hex.EncodeToString(digest.Sum(nil))
+	rep.XMapDigest = xb.Digest
 
 	// Stage 5: partition and assemble the tester program.
-	end = stage("partition")
+	end := stage("partition")
 	mcfg, err := misr.Standard(spec.MISRSize)
 	if err != nil {
 		end()

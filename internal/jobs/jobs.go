@@ -90,22 +90,18 @@ type Options struct {
 	CheckpointEvery int    `json:"checkpointEvery,omitempty"`
 }
 
-// normalize fills defaults and validates the strategy (the one enum a bad
-// submission should fail fast on instead of failing asynchronously).
-func (o Options) normalize(defaultCheckpointEvery int) (Options, error) {
-	if o.MISRSize == 0 {
-		o.MISRSize = 32
+// Normalized fills defaults and validates the strategy (the one name a bad
+// submission should fail fast on instead of failing asynchronously). The
+// engine defaults and the strategy canonicalization are the facade's own
+// xhybrid.Options.Normalized — one source of truth, so a spooled job's
+// options always equal what the facade would have derived — plus the
+// manager's checkpoint cadence for jobs that did not choose their own.
+func (o Options) Normalized(defaultCheckpointEvery int) (Options, error) {
+	x, err := o.xhybrid().Normalized()
+	if err != nil {
+		return o, fmt.Errorf("jobs: %w", err)
 	}
-	if o.Q == 0 {
-		o.Q = 7
-	}
-	switch o.Strategy {
-	case "":
-		o.Strategy = "paper"
-	case "paper", "paper-random", "paper-retry", "greedy":
-	default:
-		return o, fmt.Errorf("jobs: unknown strategy %q", o.Strategy)
-	}
+	o.MISRSize, o.Q, o.Strategy = x.MISRSize, x.Q, x.Strategy
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = defaultCheckpointEvery
 	}
@@ -286,7 +282,7 @@ func (m *Manager) Submit(ctx context.Context, x *xhybrid.XLocations, opts Option
 // the durable job record (and reported in every status) so operators can
 // tell whose job a spool entry is after a restart.
 func (m *Manager) SubmitTenant(ctx context.Context, x *xhybrid.XLocations, opts Options, tenant string) (Meta, error) {
-	norm, err := opts.normalize(m.cfg.CheckpointEvery)
+	norm, err := opts.Normalized(m.cfg.CheckpointEvery)
 	if err != nil {
 		return Meta{}, err
 	}

@@ -47,7 +47,7 @@ func testOptions() Options {
 // byte-identical yardstick every async/resumed run is held to.
 func referencePlan(t *testing.T, x *xhybrid.XLocations, opts Options) (*xhybrid.Plan, []byte, []byte) {
 	t.Helper()
-	norm, err := opts.normalize(8)
+	norm, err := opts.Normalized(8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestStopInterruptsResumably(t *testing.T) {
 }
 
 func TestOptionsNormalize(t *testing.T) {
-	norm, err := Options{}.normalize(8)
+	norm, err := Options{}.Normalized(8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,14 +417,54 @@ func TestOptionsNormalize(t *testing.T) {
 	if norm != want {
 		t.Errorf("normalize(zero) = %+v, want %+v", norm, want)
 	}
-	norm, err = Options{MISRSize: 16, Q: 3, Strategy: "greedy", CheckpointEvery: 2}.normalize(8)
+	norm, err = Options{MISRSize: 16, Q: 3, Strategy: "greedy", CheckpointEvery: 2}.Normalized(8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if norm.CheckpointEvery != 2 || norm.MISRSize != 16 {
 		t.Errorf("normalize kept values wrong: %+v", norm)
 	}
-	if _, err := (Options{Strategy: "nope"}).normalize(8); err == nil {
+	if _, err := (Options{Strategy: "nope"}).Normalized(8); err == nil {
 		t.Error("normalize accepted unknown strategy")
+	}
+	// Legacy alias canonicalizes at the spool boundary: records never carry
+	// the "greedy" spelling again.
+	norm, err = Options{Strategy: "greedy"}.Normalized(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Strategy != "greedy-cost" {
+		t.Errorf(`normalize("greedy") strategy = %q, want greedy-cost`, norm.Strategy)
+	}
+}
+
+// TestOptionsNormalizeRoundTrip pins the spool's defaults to the facade's:
+// jobs.Options.Normalized delegates to xhybrid.Options.Normalized, so
+// normalizing on either side of the jobs/facade boundary must land on the
+// same engine options. Before the delegation the MISRSize=32 / Q=7 defaults
+// were hardcoded twice and could drift apart.
+func TestOptionsNormalizeRoundTrip(t *testing.T) {
+	for _, o := range []Options{
+		{},
+		{Strategy: "greedy", Seed: 3},
+		{MISRSize: 16, Q: 4, Strategy: "paper-retry", MaxRounds: 5, Workers: 2},
+		{Q: 1, Strategy: "xcode-hybrid"},
+	} {
+		norm, err := o.Normalized(8)
+		if err != nil {
+			t.Fatalf("Normalized(%+v): %v", o, err)
+		}
+		viaFacade, err := o.xhybrid().Normalized()
+		if err != nil {
+			t.Fatalf("xhybrid().Normalized() of %+v: %v", o, err)
+		}
+		got := norm.xhybrid()
+		// Compare the comparable wire fields (the func-valued checkpoint
+		// hooks are zero on both sides of the spool boundary).
+		if got.MISRSize != viaFacade.MISRSize || got.Q != viaFacade.Q ||
+			got.Strategy != viaFacade.Strategy || got.Seed != viaFacade.Seed ||
+			got.MaxRounds != viaFacade.MaxRounds || got.Workers != viaFacade.Workers {
+			t.Errorf("options %+v: jobs-normalized %+v != facade-normalized %+v", o, got, viaFacade)
+		}
 	}
 }

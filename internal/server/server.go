@@ -303,8 +303,13 @@ func parseOptions(q url.Values) (requestOptions, error) {
 		return ro, err
 	}
 	ro.opt.Strategy = q.Get("strategy")
-	if ro.opt.Strategy == "" {
-		ro.opt.Strategy = "paper"
+	// Normalize through the facade: fills the engine defaults, resolves the
+	// strategy to its canonical registry name (""->paper, legacy
+	// greedy->greedy-cost) so spellings share one cache entry, and rejects
+	// unknown names here with the registry's enumerating error instead of
+	// deep in the compute path.
+	if ro.opt, err = ro.opt.Normalized(); err != nil {
+		return ro, fmt.Errorf("server: %w", err)
 	}
 	switch q.Get("format") {
 	case "", "json":

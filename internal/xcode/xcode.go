@@ -1,0 +1,162 @@
+// Package xcode implements weight-3 X-codes: linear spatial compactors
+// whose input-to-output wiring tolerates unknown (X) inputs by
+// construction, following the combinatorial X-code line of Fujiwara and
+// Colbourn (arXiv:1508.00481; weight-3 instances per arXiv:1903.09788).
+//
+// Each of n compactor inputs is assigned a codeword — a 3-subset of the j
+// output channels it fans out to — such that any two codewords share at
+// most one channel. Under that packing condition a single X-carrying input
+// corrupts exactly its own 3 channels, and any other input still drives at
+// least 2 uncorrupted channels, so single errors stay observable next to a
+// single X source (the (1,1) tolerance of the weight-3 construction).
+// Overlapping two codewords in 2+ channels would instead let one X shadow
+// another input entirely.
+//
+// The constructor realizes the packing as a transversal design: channels
+// come in three groups of p (a prime with p² ≥ n), and input i = a·p + b
+// gets the triple {a, p+b, 2p+((a+b) mod p)}. Two distinct triples agree in
+// a group-0 point iff a=a', in group 1 iff b=b', in group 2 iff
+// a+b ≡ a'+b' (mod p); any two of those equalities force the third, so
+// distinct codewords intersect in at most one channel — the X-code
+// condition, checked exhaustively by Verify. Channel count grows as
+// 3·ceil(sqrt(n)), the asymptotic order of the optimal weight-3 codes.
+//
+// The package is pure combinatorics plus counting helpers; the partitioner
+// consumes it through core's xcode-hybrid strategy, which scores candidate
+// splits by how few channels of this compactor the plan's residual X's
+// corrupt.
+package xcode
+
+import (
+	"fmt"
+	"math/bits"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/xmap"
+)
+
+// Code is a weight-3 X-code over Channels output channels: a codeword
+// (3-subset of channels) per input, any two codewords sharing at most one
+// channel.
+type Code struct {
+	// Channels is the output channel count j = 3p.
+	Channels int
+	p        int
+	words    [][3]int32
+}
+
+// Build constructs the weight-3 X-code for n inputs: the transversal-design
+// triples over three groups of p channels, p the smallest prime with
+// p² ≥ n. n must be positive.
+func Build(n int) (*Code, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("xcode: non-positive input count %d", n)
+	}
+	p := 2
+	for p*p < n || !isPrime(p) {
+		p++
+	}
+	c := &Code{Channels: 3 * p, p: p, words: make([][3]int32, n)}
+	for i := 0; i < n; i++ {
+		a, b := i/p, i%p
+		c.words[i] = [3]int32{int32(a), int32(p + b), int32(2*p + (a+b)%p)}
+	}
+	return c, nil
+}
+
+func isPrime(n int) bool {
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return n >= 2
+}
+
+// Inputs returns the number of inputs the code covers.
+func (c *Code) Inputs() int { return len(c.words) }
+
+// Word returns input i's codeword: the 3 output channels it drives.
+func (c *Code) Word(i int) [3]int32 { return c.words[i] }
+
+// Verify checks the X-code conditions exhaustively: every codeword has
+// three distinct in-range channels, codewords are pairwise distinct, and —
+// the packing condition — no channel pair appears in two codewords (which
+// is equivalent to every pairwise codeword intersection being at most one
+// channel).
+func (c *Code) Verify() error {
+	type pair struct{ a, b int32 }
+	seen := make(map[pair]int, 3*len(c.words))
+	for i, w := range c.words {
+		if w[0] == w[1] || w[0] == w[2] || w[1] == w[2] {
+			return fmt.Errorf("xcode: input %d has repeated channels %v", i, w)
+		}
+		for _, ch := range w {
+			if ch < 0 || int(ch) >= c.Channels {
+				return fmt.Errorf("xcode: input %d channel %d outside [0,%d)", i, ch, c.Channels)
+			}
+		}
+		for _, pr := range [3]pair{{w[0], w[1]}, {w[0], w[2]}, {w[1], w[2]}} {
+			if prev, dup := seen[pr]; dup {
+				return fmt.Errorf("xcode: inputs %d and %d share channel pair (%d,%d)", prev, i, pr.a, pr.b)
+			}
+			seen[pr] = i
+		}
+	}
+	return nil
+}
+
+// Residual counts the corrupted channel captures a partition feeds the
+// X-canceling MISR when this code compacts scan chains onto channels:
+// for every pattern in part, the number of channels driven by at least one
+// chain holding an unmasked X. A cell is masked exactly when the
+// partition's shared mask covers it — it is X under every member pattern —
+// matching the engine's masking rule. The code must have been built for
+// geom.Chains inputs.
+func Residual(c *Code, m *xmap.XMap, geom scan.Geometry, part gf2.Vec) int {
+	size := part.PopCount()
+	if size == 0 {
+		return 0
+	}
+	// The mask set: cells X under every pattern of the partition.
+	masked := make([]bool, m.Cells())
+	for _, cx := range m.XCells() {
+		if cx.Patterns.PopCountAnd(part) == size {
+			masked[cx.Cell] = true
+		}
+	}
+	chanWords := make([]uint64, (c.Channels+63)/64)
+	total := 0
+	part.ForEach(func(p int) {
+		touched := false
+		for _, cell := range m.PatternCells(p) {
+			if masked[cell] {
+				continue
+			}
+			chain, _ := geom.CellCoord(cell)
+			for _, ch := range c.words[chain] {
+				chanWords[ch>>6] |= 1 << (uint(ch) & 63)
+			}
+			touched = true
+		}
+		if !touched {
+			return
+		}
+		for i, w := range chanWords {
+			total += bits.OnesCount64(w)
+			chanWords[i] = 0
+		}
+	})
+	return total
+}
+
+// PlanResidual sums Residual over a plan's partitions: the total corrupted
+// channel captures entering the canceler under the X-code compactor.
+func PlanResidual(c *Code, m *xmap.XMap, geom scan.Geometry, parts []gf2.Vec) int {
+	total := 0
+	for _, part := range parts {
+		total += Residual(c, m, geom, part)
+	}
+	return total
+}

@@ -1,0 +1,160 @@
+package xcode
+
+import (
+	"testing"
+
+	"xhybrid/internal/gf2"
+	"xhybrid/internal/scan"
+	"xhybrid/internal/xmap"
+)
+
+// TestBuildProperties checks the transversal-design construction across a
+// range of input counts: channel count 3p for the smallest prime p with
+// p² ≥ n, one codeword per input, and Verify's packing conditions (three
+// distinct channels, pairwise intersection ≤ 1) all hold.
+func TestBuildProperties(t *testing.T) {
+	wantP := map[int]int{1: 2, 4: 2, 5: 3, 9: 3, 10: 5, 25: 5, 26: 7, 49: 7, 50: 11, 121: 11, 122: 13, 512: 23}
+	for n, p := range wantP {
+		c, err := Build(n)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+		if c.Channels != 3*p {
+			t.Errorf("Build(%d).Channels = %d, want %d", n, c.Channels, 3*p)
+		}
+		if c.Inputs() != n {
+			t.Errorf("Build(%d).Inputs() = %d", n, c.Inputs())
+		}
+		if err := c.Verify(); err != nil {
+			t.Errorf("Build(%d): %v", n, err)
+		}
+	}
+	for _, n := range []int{0, -3} {
+		if _, err := Build(n); err == nil {
+			t.Errorf("Build(%d) accepted", n)
+		}
+	}
+}
+
+// TestPairwiseIntersection brute-forces the defining X-code property on a
+// full p² design, independently of Verify's pair-map shortcut.
+func TestPairwiseIntersection(t *testing.T) {
+	c, err := Build(49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Inputs(); i++ {
+		for j := i + 1; j < c.Inputs(); j++ {
+			wi, wj := c.Word(i), c.Word(j)
+			shared := 0
+			for _, a := range wi {
+				for _, b := range wj {
+					if a == b {
+						shared++
+					}
+				}
+			}
+			if shared > 1 {
+				t.Fatalf("codewords %d=%v and %d=%v share %d channels", i, wi, j, wj, shared)
+			}
+		}
+	}
+}
+
+// bruteResidual recomputes Residual from the definition: per member
+// pattern, collect the distinct channels of chains holding an unmasked X
+// (masked = X under every member pattern).
+func bruteResidual(c *Code, m *xmap.XMap, geom scan.Geometry, part gf2.Vec) int {
+	size := part.PopCount()
+	total := 0
+	part.ForEach(func(p int) {
+		channels := map[int32]bool{}
+		for _, cell := range m.PatternCells(p) {
+			pats, _ := m.CellPatterns(cell)
+			if pats.PopCountAnd(part) == size {
+				continue // shared-masked cell
+			}
+			chain, _ := geom.CellCoord(cell)
+			for _, ch := range c.Word(chain) {
+				channels[ch] = true
+			}
+		}
+		total += len(channels)
+	})
+	return total
+}
+
+// TestResidualAgainstBruteForce cross-checks the bitset-based Residual
+// against the set-based definition on a randomized workload, including the
+// masking rule (cells X under the whole partition don't corrupt channels).
+func TestResidualAgainstBruteForce(t *testing.T) {
+	const patterns, chains, cellsPerChain = 24, 10, 6
+	geom := scan.MustGeometry(chains, cellsPerChain)
+	m := xmap.New(patterns, geom.Cells())
+	// Deterministic scatter plus one cell that is X everywhere (so any
+	// partition masks it).
+	for i := 0; i < 120; i++ {
+		m.Add((i*7)%patterns, (i*13)%geom.Cells())
+	}
+	for p := 0; p < patterns; p++ {
+		m.Add(p, 17)
+	}
+	c, err := Build(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []gf2.Vec{
+		gf2.NewVec(patterns), // empty
+		gf2.NewVec(patterns),
+		gf2.NewVec(patterns),
+		gf2.NewVec(patterns),
+	}
+	parts[1].Set(3)
+	for p := 0; p < patterns; p += 2 {
+		parts[2].Set(p)
+	}
+	for p := 0; p < patterns; p++ {
+		parts[3].Set(p)
+	}
+	planTotal := 0
+	for i, part := range parts {
+		want := bruteResidual(c, m, geom, part)
+		if got := Residual(c, m, geom, part); got != want {
+			t.Errorf("partition %d: Residual = %d, brute force = %d", i, got, want)
+		}
+		planTotal += want
+	}
+	if got := PlanResidual(c, m, geom, parts); got != planTotal {
+		t.Errorf("PlanResidual = %d, want %d", got, planTotal)
+	}
+	if Residual(c, m, geom, parts[0]) != 0 {
+		t.Error("empty partition has nonzero residual")
+	}
+}
+
+// TestResidualBounds sanity-checks the counting range: a pattern with k
+// X-chains corrupts between 3 (all triples overlapping is impossible past
+// one chain, but one chain gives exactly 3) and min(3k, Channels) channels.
+func TestResidualBounds(t *testing.T) {
+	geom := scan.MustGeometry(8, 4)
+	m := xmap.New(4, geom.Cells())
+	m.Add(0, 0) // chain 0
+	// Two member patterns, the X only under one of them — a one-pattern
+	// partition would trivially shared-mask the cell and count nothing.
+	part := gf2.NewVec(4)
+	part.Set(0)
+	part.Set(1)
+	c, err := Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Residual(c, m, geom, part); got != 3 {
+		t.Errorf("single X cell corrupts %d channels, want 3", got)
+	}
+	// Two X's on distinct chains in one pattern: 3+3 minus at most 1 overlap.
+	m.Add(0, geom.Cells()-1) // last chain
+	got := Residual(c, m, geom, part)
+	if got < 5 || got > 6 {
+		t.Errorf("two X chains corrupt %d channels, want 5 or 6", got)
+	}
+}

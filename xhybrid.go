@@ -40,6 +40,20 @@ type Checkpoint = core.Checkpoint
 // match with errors.Is and fall back to an older checkpoint or a fresh run.
 var ErrCheckpointMismatch = core.ErrCheckpointMismatch
 
+// ErrUnknownStrategy reports an Options.Strategy no registered strategy or
+// alias matches; match with errors.Is. The error text enumerates the valid
+// names.
+var ErrUnknownStrategy = core.ErrUnknownStrategy
+
+// Strategies returns the canonical names of every registered partitioning
+// strategy, sorted — the exact vocabulary Options.Strategy, flow specs,
+// jobs and the HTTP API accept (plus the aliases).
+func Strategies() []string { return core.StrategyNames() }
+
+// StrategyAliases returns the accepted alternate strategy spellings mapped
+// to their canonical names (the legacy "greedy" resolves to "greedy-cost").
+func StrategyAliases() map[string]string { return core.StrategyAliases() }
+
 // XLocations records which scan cells capture unknown (X) values under
 // which test patterns — the only view of the output responses the paper's
 // algorithms need.
@@ -141,8 +155,11 @@ type Options struct {
 	MISRSize int
 	// Q is the number of X-free combinations per halt (default 7).
 	Q int
-	// Strategy selects the split rule: "paper" (default), "paper-random",
-	// "paper-retry" or "greedy".
+	// Strategy selects the split rule by its registry name: "paper"
+	// (default), "paper-random", "paper-retry", "greedy-cost" (accepted
+	// alias "greedy") or "xcode-hybrid". Strategies enumerates the full
+	// vocabulary; an unknown name returns an error wrapping
+	// ErrUnknownStrategy that lists it.
 	Strategy string
 	// Seed drives "paper-random".
 	Seed int64
@@ -169,35 +186,45 @@ type Options struct {
 	Resume *Checkpoint
 }
 
+// Normalized returns the options with the engine defaults filled in
+// (MISRSize 32, Q 7) and Strategy resolved to its canonical registry name
+// ("" becomes "paper", the legacy "greedy" becomes "greedy-cost"). This is
+// the one source of truth for option normalization: params derives the
+// engine configuration from it, and the jobs spool and the serving layer
+// normalize through it so equal submissions spool and cache equally. An
+// unknown strategy returns an error wrapping ErrUnknownStrategy that
+// enumerates the registry vocabulary.
+func (o Options) Normalized() (Options, error) {
+	if o.MISRSize == 0 {
+		o.MISRSize = 32
+	}
+	if o.Q == 0 {
+		o.Q = 7
+	}
+	strat, err := core.LookupStrategy(o.Strategy)
+	if err != nil {
+		return o, err
+	}
+	o.Strategy = strat.Name()
+	return o, nil
+}
+
 func (o Options) params(geom scan.Geometry) (core.Params, error) {
-	m := o.MISRSize
-	if m == 0 {
-		m = 32
+	o, err := o.Normalized()
+	if err != nil {
+		return core.Params{}, fmt.Errorf("xhybrid: %w", err)
 	}
-	q := o.Q
-	if q == 0 {
-		q = 7
-	}
-	cfg, err := misr.Standard(m)
+	cfg, err := misr.Standard(o.MISRSize)
 	if err != nil {
 		return core.Params{}, err
 	}
-	var strat core.Strategy
-	switch o.Strategy {
-	case "", "paper":
-		strat = core.StrategyPaper
-	case "paper-random":
-		strat = core.StrategyPaperRandom
-	case "paper-retry":
-		strat = core.StrategyPaperRetry
-	case "greedy":
-		strat = core.StrategyGreedyCost
-	default:
-		return core.Params{}, fmt.Errorf("xhybrid: unknown strategy %q", o.Strategy)
+	strat, err := core.LookupStrategy(o.Strategy)
+	if err != nil {
+		return core.Params{}, fmt.Errorf("xhybrid: %w", err)
 	}
 	return core.Params{
 		Geom:            geom,
-		Cancel:          xcancel.Config{MISR: cfg, Q: q},
+		Cancel:          xcancel.Config{MISR: cfg, Q: o.Q},
 		Strategy:        strat,
 		Seed:            o.Seed,
 		MaxRounds:       o.MaxRounds,
